@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper.  The
+default scale is ``tiny`` so the whole suite completes in a few minutes;
+set ``REPRO_BENCH_SCALE=small`` (or ``paper``) for higher-fidelity runs::
+
+    REPRO_BENCH_SCALE=small pytest benchmarks/ --benchmark-only
+
+Every benchmark stores the regenerated figure rows in
+``benchmark.extra_info`` so they appear in ``--benchmark-json`` output,
+and prints them so a plain run shows the tables.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import Scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return Scale(os.environ.get("REPRO_BENCH_SCALE", "tiny"))
+
+
+def record_table(benchmark, table, precision=3):
+    """Attach a FigureTable to the benchmark record and print it."""
+    benchmark.extra_info["table"] = table.as_dict()
+    print()
+    print(table.render(precision=precision))

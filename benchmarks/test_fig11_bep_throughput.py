@@ -1,0 +1,41 @@
+"""Figure 11: BEP transaction throughput, normalized to LB.
+
+Paper values (gmean over hash/queue/rbtree/sdg/sps):
+LB = 1.00, LB+IDT ~= 1.03, LB+PF ~= 1.17, LB++ ~= 1.22.
+
+The benchmark regenerates the full table and asserts the shape: LB++
+beats LB by a clear margin, PF supplies most of the gain on these
+intra-thread-dominated microbenchmarks, and no design loses to LB.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_table
+from repro.harness.experiments import fig11, run_bep_sweep
+
+_sweep_cache = {}
+
+
+def bep_sweep(scale):
+    if scale not in _sweep_cache:
+        _sweep_cache[scale] = run_bep_sweep(scale, seed=1)
+    return _sweep_cache[scale]
+
+
+def test_bench_fig11(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: fig11(scale, sweep=bep_sweep(scale)),
+        rounds=1, iterations=1,
+    )
+    record_table(benchmark, table)
+    summary = dict(zip(table.columns, table.summary_row()[1]))
+    assert summary["LB"] == pytest.approx(1.0)
+    # Paper: +22% for LB++; the scaled-down machine lands in the same
+    # regime even if the exact factor differs.
+    assert summary["LB++"] > 1.05
+    assert summary["LB+PF"] > 1.05
+    # PF dominates IDT on the microbenchmarks (intra-thread conflicts).
+    assert summary["LB+PF"] > summary["LB+IDT"]
+    # No optimization should lose to plain LB on gmean.
+    for column, value in summary.items():
+        assert value > 0.97, column

@@ -1,0 +1,28 @@
+"""Figure 12: percentage of epochs flushed because of a conflict.
+
+Paper values (amean): LB ~= 90%, LB+IDT ~= 90%, LB+PF ~= 77%,
+LB++ ~= 75%.  The load-bearing shape: under LB essentially every epoch
+is conflict-flushed; IDT barely changes the count (it reduces conflict
+*latency*, not conflict *probability*); PF reduces it by persisting
+epochs before the next access hits them.
+"""
+
+from benchmarks.conftest import record_table
+from benchmarks.test_fig11_bep_throughput import bep_sweep
+from repro.harness.experiments import fig12
+
+
+def test_bench_fig12(benchmark, scale):
+    table = benchmark.pedantic(
+        lambda: fig12(scale, sweep=bep_sweep(scale)),
+        rounds=1, iterations=1,
+    )
+    record_table(benchmark, table, precision=1)
+    summary = dict(zip(table.columns, table.summary_row()[1]))
+    # LB: nearly all epochs conflict-flushed (paper: 90%).
+    assert summary["LB"] > 60
+    # IDT alone doesn't reduce the conflict count materially.
+    assert abs(summary["LB+IDT"] - summary["LB"]) < 15
+    # PF cuts conflicts; LB++ at least as much.
+    assert summary["LB+PF"] < summary["LB"] - 10
+    assert summary["LB++"] <= summary["LB+PF"] + 5

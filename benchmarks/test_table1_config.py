@@ -1,0 +1,46 @@
+"""Table 1: the simulated machine.
+
+Verifies the paper configuration is exactly Table 1 and benchmarks raw
+simulator throughput on that machine (events are the simulator's unit
+of work; this is the cost baseline every figure pays).
+"""
+
+from repro.sim.config import MachineConfig, PersistencyModel, BarrierDesign
+from repro.system import Multicore
+from repro.workloads.micro import make_benchmark
+
+
+def test_table1_parameters_match_paper():
+    config = MachineConfig.paper()
+    assert config.num_cores == 32
+    assert config.write_buffer_entries == 32
+    assert (config.l1_size, config.l1_assoc, config.l1_latency) == \
+        (32 * 1024, 4, 3)
+    assert (config.llc_bank_size, config.llc_banks, config.llc_assoc,
+            config.llc_latency) == (1024 * 1024, 32, 16, 30)
+    assert config.num_memory_controllers == 4
+    assert (config.nvram_write_latency, config.nvram_read_latency) == \
+        (360, 240)
+    assert config.mesh_rows == 4
+    assert config.line_size == 64
+
+
+def test_bench_table1_machine_simulation_rate(benchmark):
+    """Simulator throughput on the full 32-core Table 1 machine."""
+
+    def run():
+        config = MachineConfig.paper(
+            persistency=PersistencyModel.BEP,
+            barrier_design=BarrierDesign.LB_PP,
+        )
+        machine = Multicore(config)
+        programs = [
+            make_benchmark("queue", thread_id=t, seed=1).ops(10)
+            for t in range(config.num_cores)
+        ]
+        result = machine.run(programs)
+        assert result.finished
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles"] = result.cycles_durable

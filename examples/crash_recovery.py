@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crash-consistency demo: the Figure 10 queue under power failure.
+
+Runs the copy-while-locked queue (insert = barrier; copy entry; barrier;
+bump head; barrier), crashes the machine at a series of arbitrary
+cycles, and inspects what actually reached NVRAM:
+
+* the epoch-order checker proves no line ever persisted ahead of its
+  happens-before predecessors;
+* the queue checker proves the durable head cursor never exposes a
+  torn entry -- an insert is either invisible or complete after the
+  crash, exactly the guarantee the paper's barrier placement provides;
+* as a negative control, the same durable image with a forged head
+  cursor is shown to *fail* the check, so the oracle is real.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import BarrierDesign, MachineConfig, Multicore, PersistencyModel
+from repro.recovery import (
+    ConsistencyViolation,
+    check_epoch_order,
+    check_queue_recoverable,
+    run_with_crash,
+)
+from repro.workloads.micro import QueueWorkload
+
+CRASH_POINTS = [2_000, 10_000, 40_000, 120_000]
+
+
+def crash_once(crash_cycle: int):
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True)
+    queues = [QueueWorkload(thread_id=t, seed=7) for t in range(2)]
+    outcome = run_with_crash(machine, [q.ops(80) for q in queues],
+                             crash_cycle)
+    persists = check_epoch_order(outcome)
+    heads = [check_queue_recoverable(outcome, q) for q in queues]
+    return outcome, persists, heads, queues
+
+
+def main() -> None:
+    print("Crashing the queue workload at arbitrary cycles...\n")
+    last = None
+    for crash_cycle in CRASH_POINTS:
+        outcome, persists, heads, queues = crash_once(crash_cycle)
+        print(f"crash @ {outcome.crash_cycle:>7} cycles: "
+              f"{persists:4d} data persists checked, "
+              f"durable queue heads = {heads}  -> consistent")
+        last = (outcome, queues)
+
+    # Negative control: forge the durable head one slot past reality.
+    outcome, queues = last
+    queue = queues[0]
+    head_line = queue.head_addr & ~(queue.line_size - 1)
+    values = outcome.image.values.setdefault(head_line, {})
+    offset = queue.head_addr - head_line
+    _tag, tid, count = values.get(offset, ("head", 0, 0))
+    values[offset] = ("head", tid, count + 5)
+    print("\nNegative control: forging a durable head 5 entries ahead...")
+    try:
+        check_queue_recoverable(outcome, queue)
+    except ConsistencyViolation as exc:
+        print(f"  checker caught it: {exc}")
+    else:
+        raise SystemExit("checker failed to detect the forged head!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Writing your own persistent workload against the public API.
+
+Implements a persistent append-only log (the building block of most
+NVM-native storage engines) directly with the Program/Op API, runs it
+under every barrier design, and crash-checks it.  Shows the three things
+a workload author controls:
+
+1. the data layout (via :class:`~repro.workloads.heap.PersistentHeap`),
+2. the persist-barrier discipline (record must be durable before the
+   commit pointer exposes it -- the same pattern as Figure 10),
+3. the transaction boundaries the throughput metric counts.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import BarrierDesign, MachineConfig, Multicore, PersistencyModel
+from repro.recovery import check_epoch_order, run_with_crash
+from repro.workloads.base import Program, store_span
+from repro.workloads.heap import PersistentHeap
+
+RECORD_SIZE = 256
+RECORDS = 120
+
+
+def build_log_program(thread_id: int, line_size: int = 64) -> Program:
+    """An append-only log: write record, barrier, bump commit pointer,
+    barrier."""
+    heap = PersistentHeap(0x1000_0000 + thread_id * 0x0100_0000,
+                          1 << 20, line_size)
+    commit_ptr = heap.alloc(line_size)
+    region = heap.alloc(RECORDS * RECORD_SIZE)
+    program = Program()
+    for i in range(RECORDS):
+        record = region + i * RECORD_SIZE
+        program.extend(store_span(record, RECORD_SIZE, line_size,
+                                  value=("rec", thread_id, i)))
+        program.barrier()                               # record durable...
+        program.store(commit_ptr, 8, value=("commit", thread_id, i + 1))
+        program.barrier()                               # ...before visible
+        program.txn_mark()
+        program.compute(80)
+    return program
+
+
+def main() -> None:
+    print(f"append-only log: {RECORDS} records x {RECORD_SIZE}B, "
+          "2 threads\n")
+    baseline = None
+    for design in (BarrierDesign.LB, BarrierDesign.LB_PP):
+        config = MachineConfig.tiny(
+            persistency=PersistencyModel.BEP, barrier_design=design,
+        )
+        machine = Multicore(config)
+        result = machine.run([build_log_program(t) for t in range(2)])
+        if baseline is None:
+            baseline = result.throughput
+        print(f"{design.value:5s} throughput={result.throughput:.3f} "
+              f"txn/kcycle ({result.throughput / baseline:.2f}x)  "
+              f"conflicting epochs={result.conflict_epoch_pct:.0f}%")
+
+    print("\ncrash-checking the log under LB++ ...")
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True)
+    outcome = run_with_crash(
+        machine, [build_log_program(t) for t in range(2)],
+        crash_cycle=40_000,
+    )
+    checked = check_epoch_order(outcome)
+    # Recover: the commit pointer must never exceed the durable records.
+    for thread_id in range(2):
+        heap_base = 0x1000_0000 + thread_id * 0x0100_0000
+        commit_line = heap_base
+        commit = outcome.image.values.get(commit_line, {}).get(0)
+        committed = commit[2] if commit else 0
+        region = heap_base + 64  # first alloc after the pointer line
+        for i in range(committed):
+            record = region + i * RECORD_SIZE
+            for offset in range(0, RECORD_SIZE, 64):
+                values = outcome.image.values.get(record + offset)
+                assert values and all(
+                    v == ("rec", thread_id, i) for v in values.values()
+                ), f"record {i} torn!"
+        print(f"  thread {thread_id}: {committed} committed records, "
+              "all durable and intact")
+    print(f"  ({checked} persists verified in epoch order)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: run a persistent hash table under two persist barriers.
+
+Builds an 8-core machine with NVRAM (Table 1 of the paper, scaled to
+laptop size), runs the `hash` microbenchmark on every core under
+buffered epoch persistency, and compares the state-of-the-art lazy
+barrier (LB) against the paper's LB++ (IDT + proactive flushing).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BarrierDesign, MachineConfig, Multicore, PersistencyModel
+from repro.workloads.micro import HashTableWorkload
+
+TRANSACTIONS_PER_THREAD = 100
+
+
+def run(design: BarrierDesign):
+    config = MachineConfig.small(
+        persistency=PersistencyModel.BEP,
+        barrier_design=design,
+    )
+    machine = Multicore(config)
+    programs = [
+        HashTableWorkload(thread_id=tid, seed=42,
+                          line_size=config.line_size).ops(
+            TRANSACTIONS_PER_THREAD
+        )
+        for tid in range(config.num_cores)
+    ]
+    return machine.run(programs)
+
+
+def main() -> None:
+    print(f"{'design':8s} {'txn/kcycle':>11s} {'conflict %':>11s} "
+          f"{'intra':>6s} {'inter':>6s} {'NVRAM writes':>13s}")
+    baseline = None
+    for design in (BarrierDesign.LB, BarrierDesign.LB_IDT,
+                   BarrierDesign.LB_PF, BarrierDesign.LB_PP):
+        result = run(design)
+        if baseline is None:
+            baseline = result.throughput
+        speedup = result.throughput / baseline
+        print(f"{design.value:8s} {result.throughput:11.3f} "
+              f"{result.conflict_epoch_pct:10.1f}% "
+              f"{result.intra_conflicts:6d} {result.inter_conflicts:6d} "
+              f"{result.nvram_writes:13d}   ({speedup:.2f}x vs LB)")
+    print("\nLB++ wins by keeping epoch persists out of the critical "
+          "path: proactive\nflushing shrinks the window in which a hot "
+          "line's old epoch is still dirty,\nand IDT turns inter-thread "
+          "conflicts into background ordering edges.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Strand persistency: independent persist streams within one thread.
+
+The paper builds on Pelley et al.'s persistency models and evaluates
+strict and epoch persistency; this example exercises the third model --
+*strand persistency* -- which this library implements as an extension.
+Epochs of different strands of one thread carry no mutual ordering, so
+work that is logically independent no longer shares a persist fate.
+
+The workload where this matters is *asymmetric*: a thread maintains a
+small hot structure (a persistent counter updated every transaction)
+alongside a bulky one (a log that appends a 1KB record every other
+transaction).  With a single strand, every counter update that
+conflicts with its own previous epoch must first flush the big log
+epochs sitting earlier in the thread's epoch order -- the bulk work is
+in the hot path's critical path.  With the log in its own strand, the
+counter's conflicts flush only counter epochs: under lazy LB the
+conflict-stall cycles drop by ~2x.  (Under LB++ the strands change
+nothing -- proactive flushing already persists each epoch eagerly, so
+there is no cross-structure backlog to decouple.  Strands and PF are
+alternative answers to the same coupling.)  How much of the stall
+reduction reaches end-to-end throughput depends on how much of it the
+write buffer was hiding.
+
+Run:  python examples/strand_persistency.py
+"""
+
+from repro import BarrierDesign, MachineConfig, Multicore, PersistencyModel
+from repro.recovery import check_epoch_order, run_with_crash
+from repro.workloads.base import Program, store_span
+
+COUNTER = 0x1000_0000
+LOG_BASE = 0x1800_0000
+LOG_RECORD = 1024            # 16 lines per append
+TXNS = 100
+
+
+def build_program(use_strands: bool) -> Program:
+    p = Program()
+    appended = 0
+    for i in range(TXNS):
+        if i % 2 == 0:
+            # Bulk work: append a big record to the log.
+            if use_strands:
+                p.strand(1)
+            p.extend(store_span(LOG_BASE + appended * LOG_RECORD,
+                                LOG_RECORD, 64, value=("rec", appended)))
+            p.barrier()
+            appended += 1
+        # Hot work: bump the persistent counter (conflicts with its own
+        # previous epoch almost every time under LB).
+        if use_strands:
+            p.strand(0)
+        p.store(COUNTER, 8, value=("count", i + 1))
+        p.barrier()
+        p.txn_mark()
+        p.compute(20)
+    return p
+
+
+def run(use_strands: bool, design: BarrierDesign):
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP, barrier_design=design,
+    )
+    machine = Multicore(config)
+    return machine.run([build_program(use_strands)], drain=False)
+
+
+def main() -> None:
+    print(f"one thread: hot counter updates + 1KB log appends "
+          f"({TXNS} txns)\n")
+    for design in (BarrierDesign.LB, BarrierDesign.LB_PP):
+        base = run(False, design)
+        stranded = run(True, design)
+        speedup = stranded.throughput / base.throughput
+        print(f"{design.value:5s}  one strand: {base.throughput:5.3f} "
+              f"txn/kcycle   two strands: {stranded.throughput:5.3f} "
+              f"-> {speedup:4.2f}x "
+              f"(conflict stalls "
+              f"{base.stats.domain('conflicts').total('online_stall_cycles'):>7.0f}"
+              f" -> "
+              f"{stranded.stats.domain('conflicts').total('online_stall_cycles'):>7.0f}"
+              " cycles)")
+
+    print("\ncrash-checking the two-strand run (strand-aware "
+          "happens-before)...")
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True)
+    outcome = run_with_crash(machine, [build_program(True)],
+                             crash_cycle=30_000)
+    checked = check_epoch_order(outcome)
+    counter = outcome.image.values.get(COUNTER, {}).get(0)
+    print(f"  crash @ {outcome.crash_cycle}: {checked} persists verified; "
+          f"durable counter = {counter}")
+
+
+if __name__ == "__main__":
+    main()

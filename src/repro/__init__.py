@@ -1,0 +1,47 @@
+"""repro: Efficient Persist Barriers for Multicores (MICRO 2015).
+
+A discrete-event reproduction of Joshi et al.'s persist-barrier designs
+for NVRAM multicores: the lazy barrier (LB) of Condit et al., the
+paper's optimizations -- inter-thread dependence tracking (IDT) and
+proactive flushing (PF) -- and their combination, LB++.  The library
+implements the full substrate (cores, caches, MSI directory, 2D mesh,
+banked LLC, memory controllers, NVRAM image), the persistency models it
+enforces (SP, EP, BEP, BSP in bulk mode with undo logging and register
+checkpointing), the paper's workloads, and a crash-recovery checker.
+
+Quickstart::
+
+    from repro import MachineConfig, Multicore, BarrierDesign
+    from repro.workloads.micro import HashTableWorkload
+
+    config = MachineConfig.small(barrier_design=BarrierDesign.LB_PP)
+    machine = Multicore(config)
+    programs = [HashTableWorkload(seed=i).program(config, transactions=200)
+                for i in range(config.num_cores)]
+    result = machine.run(programs)
+    print(result.throughput, result.conflict_epoch_pct)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every figure and table.
+"""
+
+from repro.sim.config import (
+    BarrierDesign,
+    FlushMode,
+    MachineConfig,
+    PersistencyModel,
+)
+from repro.system import Multicore, RunResult, SimulationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrierDesign",
+    "FlushMode",
+    "MachineConfig",
+    "Multicore",
+    "PersistencyModel",
+    "RunResult",
+    "SimulationError",
+    "__version__",
+]

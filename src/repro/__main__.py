@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run``     -- run one workload on one machine configuration and print
+  the result (throughput, conflicts, NVRAM traffic).
+* ``figures`` -- regenerate the paper's figures (delegates to
+  :mod:`repro.harness.experiments`).
+* ``crash``   -- crash a workload at a given cycle, check consistency,
+  and (for BSP) perform undo-log recovery.
+* ``inspect`` -- print the machine configuration at each scale.
+
+Examples::
+
+    python -m repro run --workload queue --design LB++ --scale small
+    python -m repro run --workload ssca2 --model BSP --design LB
+    python -m repro figures fig11 fig12 --scale tiny
+    python -m repro crash --workload queue --cycle 20000
+    python -m repro inspect --scale paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.harness.runner import Scale, run_bep, run_bsp
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore, RunResult
+from repro.workloads.apps.profiles import APP_PROFILES
+from repro.workloads.micro import MICROBENCHMARKS
+
+_DESIGNS = {d.value: d for d in BarrierDesign}
+_MODELS = {m.value: m for m in PersistencyModel}
+
+
+def _print_result(result: RunResult) -> None:
+    print(f"cycles (visible) : {result.cycles_visible}")
+    print(f"cycles (durable) : {result.cycles_durable}")
+    print(f"transactions     : {result.transactions}")
+    if result.transactions:
+        print(f"throughput       : {result.throughput:.3f} txn/kcycle")
+    print(f"epochs persisted : {result.total_epochs}")
+    print(f"conflicting      : {result.conflict_epoch_pct:.1f}%")
+    print(f"conflicts        : intra={result.intra_conflicts} "
+          f"inter={result.inter_conflicts}")
+    nvram = result.stats.domain("nvram")
+    print(f"NVRAM writes     : {result.nvram_writes} "
+          f"(data={nvram.get('writes_data')} "
+          f"log={nvram.get('writes_log')} "
+          f"ckpt={nvram.get('writes_checkpoint')} "
+          f"evict={nvram.get('writes_eviction')})")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = Scale(args.scale)
+    design = _DESIGNS[args.design]
+    if args.workload in MICROBENCHMARKS:
+        model = PersistencyModel.BEP
+        if args.model and args.model != model.value:
+            print("note: microbenchmarks run under BEP (the paper's "
+                  "programmer-annotated workloads)", file=sys.stderr)
+        result = run_bep(args.workload, design, scale=scale,
+                         seed=args.seed, transactions=args.transactions)
+    elif args.workload in APP_PROFILES:
+        model = _MODELS[args.model] if args.model else PersistencyModel.BSP
+        result = run_bsp(args.workload, design, scale=scale,
+                         seed=args.seed, persistency=model,
+                         epoch_stores=args.epoch_stores,
+                         mem_ops=args.mem_ops)
+    else:
+        known = sorted(MICROBENCHMARKS) + sorted(APP_PROFILES)
+        print(f"unknown workload {args.workload!r}; choose from {known}",
+              file=sys.stderr)
+        return 2
+    print(f"== {args.workload} / {design.value} / {model.value} "
+          f"@ {scale.value} ==")
+    _print_result(result)
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import main as experiments_main
+    argv = list(args.figures) + ["--scale", args.scale,
+                                 "--seed", str(args.seed)]
+    return experiments_main(argv)
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    from repro.recovery import (
+        check_bsp_recoverable,
+        check_epoch_order,
+        recover_bsp,
+        recover_queue,
+        run_with_crash,
+    )
+    from repro.workloads.micro import QueueWorkload
+    from repro.workloads.apps import app_programs
+
+    design = _DESIGNS[args.design]
+    if args.workload in MICROBENCHMARKS:
+        config = MachineConfig.tiny(
+            barrier_design=design, persistency=PersistencyModel.BEP,
+        )
+        machine = Multicore(config, track_values=True,
+                            track_persist_order=True, keep_epoch_log=True)
+        if args.workload == "queue":
+            queues = [QueueWorkload(thread_id=t, seed=args.seed)
+                      for t in range(config.num_cores)]
+            outcome = run_with_crash(
+                machine, [q.ops(80) for q in queues], args.cycle
+            )
+            checked = check_epoch_order(outcome)
+            print(f"crash @ {outcome.crash_cycle}: {checked} persists in "
+                  "valid epoch order")
+            for q in queues:
+                recovered = recover_queue(outcome, q)
+                print(f"  thread {q.thread_id}: recovered queue "
+                      f"[{recovered.tail}, {recovered.head}) = "
+                      f"{recovered.length} intact entries")
+            return 0
+        from repro.workloads.micro import make_benchmark
+        benches = [make_benchmark(args.workload, thread_id=t,
+                                  seed=args.seed)
+                   for t in range(config.num_cores)]
+        outcome = run_with_crash(
+            machine, [b.ops(80) for b in benches], args.cycle
+        )
+        checked = check_epoch_order(outcome)
+        print(f"crash @ {outcome.crash_cycle}: {checked} persists in "
+              "valid epoch order")
+        return 0
+    if args.workload in APP_PROFILES:
+        config = MachineConfig.tiny(
+            barrier_design=design, persistency=PersistencyModel.BSP,
+            bsp_epoch_stores=args.epoch_stores,
+        )
+        machine = Multicore(config, track_values=True,
+                            track_persist_order=True, keep_epoch_log=True)
+        outcome = run_with_crash(
+            machine,
+            app_programs(args.workload, config.num_cores, 2000,
+                         seed=args.seed),
+            args.cycle,
+        )
+        checked = check_epoch_order(outcome)
+        covered = check_bsp_recoverable(outcome)
+        state = recover_bsp(outcome)
+        print(f"crash @ {outcome.crash_cycle}: {checked} persists in valid "
+              f"epoch order, {covered} torn lines log-covered")
+        print(f"recovery rolled back {len(state.rolled_back)} epochs, "
+              f"restored {len(state.restored_lines)} lines")
+        for core_id in sorted(state.survivor_epoch):
+            print(f"  core {core_id} restarts from epoch "
+                  f"{state.survivor_epoch[core_id]}'s checkpoint")
+        return 0
+    print(f"unknown workload {args.workload!r}", file=sys.stderr)
+    return 2
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    builders = {
+        "tiny": MachineConfig.tiny,
+        "small": MachineConfig.small,
+        "paper": MachineConfig.paper,
+    }
+    config = builders[args.scale]()
+    print(f"== MachineConfig.{args.scale}() ==")
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, (BarrierDesign, PersistencyModel)):
+            value = value.value
+        print(f"  {field.name:28s} {value}")
+    print(f"  {'l1_sets (derived)':28s} {config.l1_sets}")
+    print(f"  {'llc_bank_sets (derived)':28s} {config.llc_bank_sets}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient Persist Barriers for Multicores "
+                    "(MICRO 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload")
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--design", default="LB++", choices=_DESIGNS)
+    run_p.add_argument("--model", default=None, choices=_MODELS)
+    run_p.add_argument("--scale", default="small",
+                       choices=[s.value for s in Scale])
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--transactions", type=int, default=None)
+    run_p.add_argument("--mem-ops", type=int, default=None)
+    run_p.add_argument("--epoch-stores", type=int, default=1500)
+    run_p.set_defaults(func=cmd_run)
+
+    fig_p = sub.add_parser("figures", help="regenerate paper figures")
+    fig_p.add_argument("figures", nargs="+")
+    fig_p.add_argument("--scale", default="small",
+                       choices=[s.value for s in Scale])
+    fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.set_defaults(func=cmd_figures)
+
+    crash_p = sub.add_parser("crash", help="crash + recovery demo")
+    crash_p.add_argument("--workload", default="queue")
+    crash_p.add_argument("--design", default="LB++", choices=_DESIGNS)
+    crash_p.add_argument("--cycle", type=int, default=20_000)
+    crash_p.add_argument("--seed", type=int, default=1)
+    crash_p.add_argument("--epoch-stores", type=int, default=100)
+    crash_p.set_defaults(func=cmd_crash)
+
+    inspect_p = sub.add_parser("inspect", help="print a machine config")
+    inspect_p.add_argument("--scale", default="small",
+                           choices=[s.value for s in Scale])
+    inspect_p.set_defaults(func=cmd_inspect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""The paper's primary contribution: efficient persist barriers.
+
+* :mod:`repro.core.epoch`    -- epoch lifecycle, per-core epoch managers,
+  epoch splitting (the deadlock-avoidance mechanism of section 3.3).
+* :mod:`repro.core.idt`      -- inter-thread dependence tracking
+  (section 3.1): dependence/inform registers and edge bookkeeping.
+* :mod:`repro.core.arbiter`  -- the per-core epoch arbiter that orders
+  flushes (program order + IDT edges) and serves online flush requests.
+* :mod:`repro.core.flush`    -- the multi-banked epoch flush handshake of
+  Figure 8 (FlushEpoch / FlushLines / PersistAck / BankAck / PersistCMP),
+  with invalidating (clflush) and non-invalidating (clwb) modes.
+* :mod:`repro.core.undo_log` -- hardware undo logging for BSP epoch
+  atomicity (section 5.2.1).
+* :mod:`repro.core.checkpoint` -- register-state checkpointing per BSP
+  epoch (section 5.2).
+"""
+
+from repro.core.epoch import Epoch, EpochManager, EpochStatus
+from repro.core.idt import IDTracker
+
+__all__ = ["Epoch", "EpochManager", "EpochStatus", "IDTracker"]

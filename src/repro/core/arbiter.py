@@ -1,0 +1,164 @@
+"""The per-core epoch arbiter (sections 4.1 and 4.2).
+
+Each core's L1 controller hosts an arbiter that orchestrates the flushing
+of that core's epochs.  The arbiter:
+
+* flushes epochs strictly in sequence order, one at a time;
+* will not start flushing an epoch until all its happens-before
+  predecessors (older same-core epochs, IDT source epochs on other
+  cores) have persisted, its write-buffer stores have drained
+  (EpochCMP), and -- for BSP -- its undo-log entries are durable;
+* serves *online* flush requests (epoch conflicts: the requester is
+  stalled in the critical path) and *offline* requests (proactive
+  flushing, natural drain at the end of a run) through the same pump,
+  differing only in whether demand is propagated to IDT source arbiters
+  and whether the flushed epochs are accounted as conflict-flushed
+  (Figure 12's metric).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.epoch import Epoch, EpochManager
+from repro.core.flush import FlushOperation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import Multicore
+
+
+class Arbiter:
+    """Per-core flush orchestrator."""
+
+    def __init__(self, core_id: int, machine: "Multicore",
+                 manager: EpochManager) -> None:
+        self.core_id = core_id
+        self._machine = machine
+        self._manager = manager
+        self._stats = machine.stats.domain(f"arbiter{core_id}")
+        # Highest epoch seq requested to flush, per strand (strands are
+        # mutually unordered, so a conflict on one never forces another).
+        self._flush_horizon: dict = {}
+        # Highest epoch seq with an *online* waiter, per strand; demand
+        # up to this seq propagates to IDT source arbiters.
+        self._online_horizon: dict = {}
+        self.active: Optional[FlushOperation] = None
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request_flush_upto(
+        self, epoch: Epoch, online: bool, mark_conflict: Optional[bool] = None
+    ) -> None:
+        """Ask for every epoch up to ``epoch`` (inclusive) to be flushed.
+
+        ``online`` requests come from conflicts: a memory request is
+        stalled until ``epoch`` persists, so demand must propagate through
+        IDT edges.  ``mark_conflict`` controls Figure 12 accounting and
+        defaults to ``online`` (EP-model barrier stalls pass False: they
+        are online but are not *conflicts*).
+        """
+        if epoch.persisted:
+            return
+        if mark_conflict is None:
+            mark_conflict = online
+        strand = epoch.strand
+        if mark_conflict:
+            # Figure 12 accounting: every epoch that a conflict forces to
+            # persist (or catches still persisting) counts as conflict-
+            # flushed; only epochs that completed their persist before any
+            # conflict arrived count as clean offline persists.
+            for e in self._manager.unpersisted_upto(epoch.seq, strand):
+                e.conflict_flush = True
+        if epoch.seq > self._flush_horizon.get(strand, -1):
+            self._flush_horizon[strand] = epoch.seq
+        if online and epoch.seq > self._online_horizon.get(strand, -1):
+            self._online_horizon[strand] = epoch.seq
+        self.pump()
+
+    # ------------------------------------------------------------------
+    # The pump
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Start the next eligible flush, if any.
+
+        Idempotent and cheap; safe to call from any event that might have
+        unblocked the head epoch.
+        """
+        if self.active is not None:
+            return
+        candidates = self._manager.flush_candidates(
+            lambda strand: self._flush_horizon.get(strand, -1)
+        )
+        head = None
+        for candidate in candidates:
+            if candidate.ongoing:
+                # The horizon can only cover an ongoing epoch transiently
+                # (e.g. requests raced with a split); wait for its barrier.
+                continue
+            if not candidate.complete:
+                # EpochCMP not yet received: stores still draining from
+                # the write buffer.  FIFO drain guarantees completion soon.
+                candidate.on_complete(self.pump)
+                continue
+            online = candidate.seq <= self._online_horizon.get(
+                candidate.strand, -1
+            )
+            blocked = False
+            for source in list(candidate.idt_sources):
+                if source.persisted:
+                    continue
+                blocked = True
+                source.on_persist(self.pump)
+                if online:
+                    # Propagate critical-path demand through the IDT edge.
+                    self._machine.arbiters[
+                        source.core_id
+                    ].request_flush_upto(
+                        source, online=True, mark_conflict=False
+                    )
+            if blocked:
+                self._stats.bump("flush_blocked_on_source")
+                continue
+            if candidate.outstanding_log_writes:
+                # Undo-log entries must be durable before any data line of
+                # the epoch persists; the log-ack callback re-pumps.
+                self._stats.bump("flush_blocked_on_log")
+                continue
+            head = candidate
+            break
+        if head is None:
+            return
+        online = head.seq <= self._online_horizon.get(head.strand, -1)
+        head.flush_started = True
+        self._stats.bump("flushes_online" if online else "flushes_offline")
+        if self._machine.tracer:
+            self._machine.tracer.record(
+                self._machine.engine.now, "flush_start", self.core_id,
+                epoch=str(head), online=online, lines=len(head.lines),
+            )
+        self.active = FlushOperation(self._machine, head, self._flush_done)
+        self.active.start()
+
+    def _flush_done(self, epoch: Epoch) -> None:
+        self.active = None
+        self._machine.maybe_persist(epoch)
+        self.pump()
+
+    # ------------------------------------------------------------------
+    def drain_all(self, online: bool = False) -> None:
+        """Request a flush of every currently unpersisted epoch.
+
+        Used by the machine's end-of-run drain to obtain the durable
+        completion time, and by tests.
+        """
+        self._manager.close_all_strands()
+        # Request the newest epoch of every strand (strands flush
+        # independently); still-ongoing empty epochs have no work.
+        newest: dict = {}
+        for epoch in self._manager.window:
+            if not epoch.ongoing:
+                newest[epoch.strand] = epoch
+        for epoch in newest.values():
+            self.request_flush_upto(epoch, online=online,
+                                    mark_conflict=False)

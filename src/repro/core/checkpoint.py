@@ -1,0 +1,68 @@
+"""Register-state checkpointing for BSP in bulk mode (section 5.2).
+
+At the end of each hardware-created epoch the persistence engine saves
+the processor state -- general-purpose, special, privilege and
+(non-AVX) floating-point registers -- to persistent memory, so that
+execution can restart from the last fully persisted epoch.  The paper
+models this as extra persists at every epoch boundary; so do we: a fixed
+number of line writes into a per-core checkpoint region, issued
+asynchronously when the epoch closes.  The epoch does not count as
+persisted until its checkpoint is durable, but the writes are off the
+critical path of execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.epoch import Epoch
+    from repro.system import Multicore
+
+_PER_CORE_CKPT_BYTES = 1 << 16
+
+
+class CheckpointEngine:
+    """Per-core processor-state checkpoint writer."""
+
+    def __init__(self, core_id: int, machine: "Multicore") -> None:
+        self._core_id = core_id
+        self._machine = machine
+        config = machine.config
+        self._base = (
+            config.checkpoint_region_base + core_id * _PER_CORE_CKPT_BYTES
+        )
+        self._line_size = config.line_size
+        self._lines_per_checkpoint = max(
+            1, -(-config.checkpoint_bytes // config.line_size)
+        )
+        self._slots = _PER_CORE_CKPT_BYTES // config.line_size
+        self._next_slot = 0
+        self._stats = machine.stats.domain(f"checkpoint{core_id}")
+
+    @property
+    def lines_per_checkpoint(self) -> int:
+        return self._lines_per_checkpoint
+
+    def capture(self, epoch: "Epoch") -> None:
+        """Persist the register file alongside ``epoch``."""
+        self._stats.bump("checkpoints")
+        for _ in range(self._lines_per_checkpoint):
+            line = self._base + (self._next_slot % self._slots) * self._line_size
+            self._next_slot += 1
+            epoch.outstanding_checkpoint_writes += 1
+            mc = self._machine.mcs[self._machine.amap.mc_of(line)]
+            mc.write(
+                line,
+                epoch.core_id,
+                epoch.seq,
+                kind="checkpoint",
+                callback=lambda t, e=epoch: self._acked(e),
+            )
+
+    def _acked(self, epoch: "Epoch") -> None:
+        epoch.outstanding_checkpoint_writes -= 1
+        if epoch.outstanding_checkpoint_writes < 0:
+            raise RuntimeError("checkpoint ack accounting underflow")
+        if epoch.outstanding_checkpoint_writes == 0:
+            self._machine.maybe_persist(epoch)

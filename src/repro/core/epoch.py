@@ -1,0 +1,486 @@
+"""Epoch lifecycle and per-core epoch management.
+
+An epoch is the group of stores between two persist barriers.  Its
+lifecycle::
+
+    ONGOING --barrier--> CLOSED --last store drains--> COMPLETE
+            --all lines durable + deps persisted--> PERSISTED
+
+``CLOSED`` is the window where the barrier has executed but stores of the
+epoch are still draining from the core's write buffer; hardware-wise the
+L1 has not yet seen every line of the epoch (no EpochCMP yet), so a flush
+cannot finish.  Because the write buffer is FIFO, epochs always reach
+``COMPLETE`` in program order.
+
+The per-core :class:`EpochManager` owns the ordered list of unpersisted
+epochs, enforces the hardware in-flight limit (3-bit epoch IDs => 8
+in-flight epochs, Table/section 4.3), and implements *epoch splitting*,
+the paper's deadlock-avoidance move (section 3.3): when a request from
+another thread hits a line written by the *ongoing* epoch, the ongoing
+epoch is divided into a completed prefix (which can now be a safe IDT
+source or be flushed) and a fresh ongoing remainder.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.sim.engine import Engine
+    from repro.sim.stats import StatDomain
+
+
+class EpochStatus(enum.Enum):
+    ONGOING = "ongoing"
+    CLOSED = "closed"
+    COMPLETE = "complete"
+    PERSISTED = "persisted"
+
+
+class Epoch:
+    """One epoch of one core."""
+
+    __slots__ = (
+        "core_id",
+        "seq",
+        "strand",
+        "status",
+        "lines",
+        "all_lines",
+        "pending_stores",
+        "num_stores",
+        "inflight_writes",
+        "outstanding_log_writes",
+        "outstanding_checkpoint_writes",
+        "idt_sources",
+        "idt_dependents",
+        "all_sources",
+        "persist_waiters",
+        "complete_waiters",
+        "conflict_flush",
+        "flush_started",
+        "flush_active",
+        "split_from",
+        "redirect",
+        "created_at",
+        "closed_at",
+        "persisted_at",
+        "manager",
+    )
+
+    def __init__(self, core_id: int, seq: int, created_at: int,
+                 manager: "EpochManager", strand: int = 0) -> None:
+        self.core_id = core_id
+        self.seq = seq
+        # Strand persistency (Pelley et al.): epochs of different strands
+        # of the same thread carry no mutual ordering constraint.  The
+        # default single strand (0) gives ordinary (buffered) epoch
+        # persistency.
+        self.strand = strand
+        self.status = EpochStatus.ONGOING
+        # Lines whose current unpersisted dirty version belongs to this
+        # epoch (they live in the core's L1 or in the LLC).
+        self.lines: Set[int] = set()
+        # Every line this epoch ever wrote (for the recovery checker).
+        self.all_lines: Set[int] = set()
+        # Stores tagged to this epoch still sitting in the write buffer.
+        self.pending_stores = 0
+        self.num_stores = 0
+        # NVRAM writes of this epoch's lines issued but not yet acked.
+        self.inflight_writes = 0
+        # BSP bookkeeping: undo-log and checkpoint writes not yet durable.
+        self.outstanding_log_writes = 0
+        self.outstanding_checkpoint_writes = 0
+        # IDT edges (section 3.1).
+        self.idt_sources: Set["Epoch"] = set()
+        self.idt_dependents: Set["Epoch"] = set()
+        # Permanent (core, seq) log of every IDT source ever recorded,
+        # for the recovery checker (idt_sources drains as sources persist).
+        self.all_sources: Set[tuple] = set()
+        # Callbacks.
+        self.persist_waiters: List[Callable[[], None]] = []
+        self.complete_waiters: List[Callable[[], None]] = []
+        # Accounting for Figure 12: was this epoch's flush forced online?
+        self.conflict_flush = False
+        self.flush_started = False
+        # True while the Figure 8 handshake for this epoch is in flight;
+        # the epoch may not be declared persisted until PersistCMP.
+        self.flush_active = False
+        self.split_from: Optional[int] = None
+        # When a split occurs while a store is in flight, that store is
+        # "not yet completed" and belongs to the remainder epoch (section
+        # 3.3); the redirect pointer routes its completion there.
+        self.redirect: Optional["Epoch"] = None
+        self.created_at = created_at
+        self.closed_at: Optional[int] = None
+        self.persisted_at: Optional[int] = None
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    @property
+    def persisted(self) -> bool:
+        return self.status is EpochStatus.PERSISTED
+
+    @property
+    def complete(self) -> bool:
+        return self.status in (EpochStatus.COMPLETE, EpochStatus.PERSISTED)
+
+    @property
+    def ongoing(self) -> bool:
+        return self.status is EpochStatus.ONGOING
+
+    @property
+    def empty(self) -> bool:
+        """True when the epoch has no durable work left or pending."""
+        return (
+            not self.lines
+            and self.inflight_writes == 0
+            and self.outstanding_log_writes == 0
+            and self.outstanding_checkpoint_writes == 0
+        )
+
+    def resolve(self) -> "Epoch":
+        """The epoch an in-flight store tagged to this epoch now belongs
+        to, following split redirects."""
+        epoch = self
+        while epoch.redirect is not None:
+            epoch = epoch.redirect
+        return epoch
+
+    def on_persist(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the epoch persists (immediately if done)."""
+        if self.persisted:
+            callback()
+        else:
+            self.persist_waiters.append(callback)
+
+    def on_complete(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the epoch completes (immediately if so)."""
+        if self.complete:
+            callback()
+        else:
+            self.complete_waiters.append(callback)
+
+    def happens_before_predecessors(self) -> Set["Epoch"]:
+        """Direct hb-predecessors: prior same-core epoch + IDT sources."""
+        preds: Set[Epoch] = set(self.idt_sources)
+        prev = self.manager.predecessor_of(self)
+        if prev is not None:
+            preds.add(prev)
+        return preds
+
+    def __repr__(self) -> str:
+        strand = f"s{self.strand}" if self.strand else ""
+        return (
+            f"<E{self.core_id}.{self.seq}{strand} {self.status.value}"
+            f" lines={len(self.lines)}>"
+        )
+
+
+class EpochManager:
+    """Per-core epoch bookkeeping (the epoch-ID counter of section 2.1
+    plus the unpersisted-epoch window of section 4.3)."""
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: "Engine",
+        stats: "StatDomain",
+        max_inflight: int,
+    ) -> None:
+        self.core_id = core_id
+        self._engine = engine
+        self._stats = stats
+        self._max_inflight = max_inflight
+        self._next_seq = 0
+        # Unpersisted epochs in seq order.  With a single strand the
+        # last entry is the ongoing epoch when one exists; with strand
+        # persistency each strand has at most one ongoing epoch.
+        self.window: List[Epoch] = []
+        # Strand persistency state: the thread's active strand and the
+        # ongoing epoch of each strand.
+        self.active_strand = 0
+        self._ongoing: "dict[int, Epoch]" = {}
+        self.total_epochs = 0
+        # Epochs that have persisted, kept for the recovery checker when
+        # epoch logging is enabled.
+        self.retired: List[Epoch] = []
+        self.keep_retired = False
+        # Wired by the machine: called whenever an epoch *might* now be
+        # able to persist (a dependency cleared, work drained, ...).
+        self.persist_check: Callable[[Epoch], None] = lambda epoch: None
+        # Wired by the machine: called when an epoch completes -- the
+        # proactive-flushing trigger of section 3.2.
+        self.completion_hook: Callable[[Epoch], None] = lambda epoch: None
+
+    # ------------------------------------------------------------------
+    # Epoch creation / closing
+    # ------------------------------------------------------------------
+    def _new_epoch(self, strand: Optional[int] = None) -> Epoch:
+        strand = self.active_strand if strand is None else strand
+        epoch = Epoch(self.core_id, self._next_seq, self._engine.now,
+                      self, strand=strand)
+        self._next_seq += 1
+        self.window.append(epoch)
+        self._ongoing[strand] = epoch
+        self.total_epochs += 1
+        self._stats.bump("epochs")
+        return epoch
+
+    def set_strand(self, strand: int) -> None:
+        """Switch the thread's active persistence strand (Pelley et
+        al.'s NewStrand primitive).  Subsequent stores and barriers apply
+        to this strand; epochs of different strands persist
+        independently."""
+        if strand < 0:
+            raise ValueError("strand ids must be non-negative")
+        if strand != self.active_strand:
+            self._stats.bump("strand_switches")
+        self.active_strand = strand
+
+    @property
+    def current(self) -> Optional[Epoch]:
+        """The active strand's ongoing epoch, if any."""
+        epoch = self._ongoing.get(self.active_strand)
+        if epoch is not None and epoch.ongoing:
+            return epoch
+        return None
+
+    def current_or_new(self) -> Epoch:
+        """The ongoing epoch, creating one if none is open."""
+        epoch = self.current
+        if epoch is None:
+            epoch = self._new_epoch()
+        return epoch
+
+    def can_open_epoch(self) -> bool:
+        """True when the 3-bit epoch-ID window has a free slot."""
+        return len(self.window) < self._max_inflight
+
+    def tag_store(self) -> Epoch:
+        """Account one store entering the write buffer to the current epoch."""
+        epoch = self.current_or_new()
+        epoch.pending_stores += 1
+        return epoch
+
+    def store_drained(self, epoch: Epoch) -> None:
+        """A store of ``epoch`` completed at the L1."""
+        epoch = epoch.resolve()
+        epoch.pending_stores -= 1
+        epoch.num_stores += 1
+        if epoch.pending_stores < 0:
+            raise RuntimeError(f"store accounting underflow on {epoch}")
+        if epoch.status is EpochStatus.CLOSED and epoch.pending_stores == 0:
+            self._complete(epoch)
+
+    def close_current(self) -> Optional[Epoch]:
+        """Execute a persist barrier: close the ongoing epoch.
+
+        Returns the closed epoch, or None when there was nothing to close
+        (consecutive barriers collapse, as they carry no ordering beyond
+        the first).
+        """
+        epoch = self.current
+        if epoch is None:
+            return None
+        if epoch.pending_stores == 0 and epoch.num_stores == 0:
+            # Nothing was stored in this epoch: the barrier is a no-op.
+            return None
+        epoch.status = EpochStatus.CLOSED
+        epoch.closed_at = self._engine.now
+        self._ongoing.pop(epoch.strand, None)
+        if epoch.pending_stores == 0:
+            self._complete(epoch)
+        return epoch
+
+    def close_all_strands(self) -> List[Epoch]:
+        """Close every strand's ongoing epoch (end-of-run drain)."""
+        closed = []
+        saved = self.active_strand
+        for strand in list(self._ongoing):
+            self.active_strand = strand
+            epoch = self.close_current()
+            if epoch is not None:
+                closed.append(epoch)
+        self.active_strand = saved
+        return closed
+
+    def _complete(self, epoch: Epoch) -> None:
+        epoch.status = EpochStatus.COMPLETE
+        waiters, epoch.complete_waiters = epoch.complete_waiters, []
+        for callback in waiters:
+            callback()
+        self.completion_hook(epoch)
+        # An epoch that drained all its lines before completing (natural
+        # evictions) may be able to persist right away.
+        self.persist_check(epoch)
+
+    # ------------------------------------------------------------------
+    # Splitting (deadlock avoidance, section 3.3)
+    # ------------------------------------------------------------------
+    def split_current(self) -> Optional[Epoch]:
+        """Split the active strand's ongoing epoch; see
+        :meth:`split_epoch`."""
+        return self.split_epoch(self.current)
+
+    def split_epoch(self, epoch: Optional[Epoch]) -> Optional[Epoch]:
+        """Split an ongoing epoch at the current point.
+
+        The prefix (all operations completed so far) becomes a CLOSED
+        epoch that can safely serve as an IDT source or be flushed; a
+        fresh ongoing epoch in the same strand takes over the remainder.
+        Returns the prefix epoch, or None when there is nothing to split.
+        """
+        if epoch is None or not epoch.ongoing:
+            return None
+        epoch.status = EpochStatus.CLOSED
+        epoch.closed_at = self._engine.now
+        self._ongoing.pop(epoch.strand, None)
+        self._stats.bump("epoch_splits")
+        successor = self._new_epoch(strand=epoch.strand)
+        successor.split_from = epoch.seq
+        if epoch.pending_stores:
+            # In-flight stores have not completed at the time of the
+            # split, so they are part of the *remainder* epoch -- this is
+            # what makes the prefix immediately completable and therefore
+            # keeps the dependence graph acyclic (section 3.3).
+            successor.pending_stores = epoch.pending_stores
+            epoch.pending_stores = 0
+            epoch.redirect = successor
+        self._complete(epoch)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Persist-order structure
+    # ------------------------------------------------------------------
+    def predecessor_of(self, epoch: Epoch) -> Optional[Epoch]:
+        """The previous unpersisted epoch of the same strand, or None."""
+        idx = self._index_of(epoch)
+        if idx is None:
+            return None
+        for i in range(idx - 1, -1, -1):
+            if self.window[i].strand == epoch.strand:
+                return self.window[i]
+        return None
+
+    def _index_of(self, epoch: Epoch) -> Optional[int]:
+        # The window is short (<= max_inflight, typically 8); linear scan.
+        for i, e in enumerate(self.window):
+            if e is epoch:
+                return i
+        return None
+
+    def oldest_unpersisted(self) -> Optional[Epoch]:
+        return self.window[0] if self.window else None
+
+    def unpersisted_upto(self, seq: int,
+                         strand: Optional[int] = None) -> List[Epoch]:
+        """Unpersisted epochs with sequence number <= ``seq``, optionally
+        restricted to one strand (cross-strand epochs carry no mutual
+        ordering, so a conflict never forces them)."""
+        return [
+            e for e in self.window
+            if e.seq <= seq and (strand is None or e.strand == strand)
+        ]
+
+    def deps_persisted(self, epoch: Epoch) -> bool:
+        """True when every hb-predecessor of ``epoch`` has persisted.
+
+        Program order binds epochs of the *same strand* only (with the
+        default single strand: all older window epochs); IDT sources are
+        cross-core edges.
+        """
+        idx = self._index_of(epoch)
+        if idx is None:
+            return True  # already retired
+        for i in range(idx):
+            if self.window[i].strand == epoch.strand:
+                return False
+        return all(src.persisted for src in epoch.idt_sources)
+
+    def mark_persisted(self, epoch: Epoch) -> None:
+        """Retire a fully durable epoch and wake its waiters."""
+        if epoch.persisted:
+            raise RuntimeError(f"{epoch} persisted twice")
+        if not epoch.empty:
+            raise RuntimeError(f"{epoch} marked persisted with work pending")
+        idx = self._index_of(epoch)
+        if idx is None:
+            raise RuntimeError(f"{epoch} not in window")
+        for i in range(idx):
+            if self.window[i].strand == epoch.strand:
+                raise RuntimeError(
+                    f"{epoch} persisted before same-strand predecessor "
+                    f"{self.window[i]}"
+                )
+        self.window.pop(idx)
+        epoch.status = EpochStatus.PERSISTED
+        epoch.persisted_at = self._engine.now
+        self._stats.bump("epochs_persisted")
+        if epoch.conflict_flush:
+            self._stats.bump("epochs_conflict_flushed")
+        if self.keep_retired:
+            self.retired.append(epoch)
+        # Inform dependents first (the inform registers of section 4.2) so
+        # that waiters re-examining dependency state see the edges gone.
+        dependents = list(epoch.idt_dependents)
+        epoch.idt_dependents.clear()
+        for dependent in dependents:
+            dependent.idt_sources.discard(epoch)
+        waiters, epoch.persist_waiters = epoch.persist_waiters, []
+        for callback in waiters:
+            callback()
+        for dependent in dependents:
+            dependent.manager.persist_check(dependent)
+        # The strand's next epoch may already be drained and able to
+        # persist (and with one strand, that is the new window head).
+        for e in self.window:
+            if e.strand == epoch.strand:
+                self.persist_check(e)
+                break
+
+    def next_flushable(self, horizon_of) -> Optional[Epoch]:
+        """The first epoch the arbiter could flush now (see
+        :meth:`flush_candidates`)."""
+        for epoch in self.flush_candidates(horizon_of):
+            return epoch
+        return None
+
+    def flush_candidates(self, horizon_of):
+        """Yield each strand's head epoch that is within its flush
+        horizon, in window (seq) order.
+
+        ``horizon_of(strand)`` gives the highest requested flush seq for
+        a strand.  An epoch is a candidate when every earlier same-strand
+        epoch has persisted; completion/IDT/log gating is the arbiter's
+        business.  With a single strand this yields at most the window
+        head.
+        """
+        seen: set = set()
+        for epoch in self.window:
+            if epoch.strand in seen:
+                continue
+            seen.add(epoch.strand)
+            if epoch.seq <= horizon_of(epoch.strand):
+                yield epoch
+
+    def audit(self) -> None:
+        """Invariant checks used by the test suite."""
+        ongoing_seen: set = set()
+        for i, epoch in enumerate(self.window):
+            if i and epoch.seq <= self.window[i - 1].seq:
+                raise AssertionError("window out of order")
+            if epoch.persisted:
+                raise AssertionError("persisted epoch still in window")
+            if epoch.ongoing:
+                if epoch.strand in ongoing_seen:
+                    raise AssertionError("two ongoing epochs in a strand")
+                ongoing_seen.add(epoch.strand)
+                if self._ongoing.get(epoch.strand) is not epoch:
+                    raise AssertionError("ongoing map out of sync")
+                later = self.window[i + 1:]
+                if any(e.strand == epoch.strand for e in later):
+                    raise AssertionError(
+                        "ongoing epoch not last of its strand"
+                    )

@@ -1,0 +1,81 @@
+"""Hardware undo logging for BSP epoch atomicity (section 5.2.1).
+
+BSP requires each epoch to update persistent memory atomically, but the
+hardware's atomic unit is a cache line.  Undo logging bridges the gap:
+before a cache line is modified *for the first time in an epoch*, its old
+value is written to a per-core log region in NVRAM.  After a crash,
+partially persisted epochs are rolled back by replaying their log
+entries.
+
+First-modification detection uses the cache line's epoch tag, exactly as
+the paper describes: if the line's tag already names the current epoch,
+it has been logged (or freshly written) in this epoch and no log entry is
+needed.
+
+Log writes are issued asynchronously at store time -- they are not in the
+critical path -- but an epoch may not begin flushing its data lines until
+all of its log entries are durable (otherwise a crash could find new data
+without the means to undo it).  The arbiter enforces that via
+``Epoch.outstanding_log_writes``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.config import MachineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.epoch import Epoch
+    from repro.system import Multicore
+
+# Each core owns a slice of the log region this many bytes long; entries
+# are written round-robin within the slice (a circular log -- entries for
+# persisted epochs are dead and may be overwritten).
+_PER_CORE_LOG_BYTES = 1 << 20
+
+
+class UndoLog:
+    """Per-core hardware undo log."""
+
+    def __init__(self, core_id: int, machine: "Multicore") -> None:
+        self._core_id = core_id
+        self._machine = machine
+        config: MachineConfig = machine.config
+        self._base = config.log_region_base + core_id * _PER_CORE_LOG_BYTES
+        self._line_size = config.line_size
+        self._slots = _PER_CORE_LOG_BYTES // config.line_size
+        self._next_slot = 0
+        self._stats = machine.stats.domain(f"undolog{core_id}")
+
+    def record(
+        self,
+        epoch: "Epoch",
+        data_line: int,
+        old_values: Optional[Dict[int, object]],
+    ) -> None:
+        """Write an undo entry for the first modification of ``data_line``
+        in ``epoch``.  Asynchronous; the epoch tracks the outstanding ack.
+        """
+        log_line = self._base + (self._next_slot % self._slots) * self._line_size
+        self._next_slot += 1
+        epoch.outstanding_log_writes += 1
+        self._stats.bump("log_writes")
+        mc = self._machine.mcs[self._machine.amap.mc_of(log_line)]
+        mc.write_log(
+            log_line,
+            data_line,
+            epoch.core_id,
+            epoch.seq,
+            old_values,
+            callback=lambda t, e=epoch: self._acked(e),
+        )
+
+    def _acked(self, epoch: "Epoch") -> None:
+        epoch.outstanding_log_writes -= 1
+        if epoch.outstanding_log_writes < 0:
+            raise RuntimeError("undo-log ack accounting underflow")
+        if epoch.outstanding_log_writes == 0:
+            # The arbiter may have been waiting on the log to drain.
+            self._machine.arbiters[epoch.core_id].pump()
+            self._machine.maybe_persist(epoch)

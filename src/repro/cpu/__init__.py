@@ -1,0 +1,5 @@
+"""Processor models: cores and their write buffers."""
+
+from repro.cpu.processor import Core, WriteBufferEntry
+
+__all__ = ["Core", "WriteBufferEntry"]

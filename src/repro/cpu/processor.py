@@ -1,0 +1,319 @@
+"""The core model: an out-of-order core abstracted to its memory stream.
+
+Persist-barrier behaviour is governed by the cache/epoch machinery, not
+by pipeline microarchitecture, so cores are modeled at memory-operation
+granularity:
+
+* loads block until data returns (with store-buffer forwarding);
+* stores retire into a finite FIFO write buffer (Table 1: 32 entries)
+  that drains through the L1 in the background -- the stand-in for the
+  OoO window's ability to hide store latency;
+* persist barriers travel through the write buffer as markers, so --
+  exactly as in Condit et al.'s design -- a store is tagged with the
+  epoch that is current *when it completes at the L1*.  An epoch closes
+  when its barrier marker reaches the head of the buffer, at which point
+  none of its stores can still be in flight: closed epochs are complete
+  epochs, which is what makes the split-based deadlock-avoidance
+  argument of section 3.3 sound.
+
+The core also implements the persistency models' visibility rules:
+
+* ``NP``      -- barriers ignored, no epoch tagging.
+* ``SP``      -- every store persists synchronously before the next
+  drains (write-through behaviour, Figure 1a).
+* ``EP``      -- the core stalls at each barrier until the closed epoch
+  has fully persisted (Figure 1b).
+* ``BEP``     -- barriers close epochs and execution continues.
+* ``BSP``     -- the hardware persistence engine closes an epoch every
+  ``bsp_epoch_stores`` dynamic stores and checkpoints the register file
+  (section 5.2).
+* ``BSP_WT``  -- the naive write-through BSP the paper measures at ~8x.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional
+
+from repro.sim.config import PersistencyModel
+from repro.workloads.base import Op, OpKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system import Multicore
+
+
+class WriteBufferEntry:
+    """A store awaiting drain, or a persist-barrier/strand marker."""
+
+    __slots__ = ("line", "values", "is_barrier", "ep_wait", "strand")
+
+    def __init__(self, line: int = 0,
+                 values: Optional[Dict[int, object]] = None,
+                 is_barrier: bool = False, ep_wait: bool = False,
+                 strand: Optional[int] = None) -> None:
+        self.line = line
+        self.values = values
+        self.is_barrier = is_barrier
+        # EP model: the core is parked until this barrier's epoch persists.
+        self.ep_wait = ep_wait
+        # Strand-switch marker (None for stores/barriers): like barriers,
+        # the switch takes effect when it reaches the L1, keeping the
+        # store->strand mapping consistent with tag-at-completion.
+        self.strand = strand
+
+
+_EPOCH_MODELS = (
+    PersistencyModel.BEP,
+    PersistencyModel.BSP,
+    PersistencyModel.EP,
+)
+
+
+class Core:
+    """One simulated core executing one thread's op stream."""
+
+    def __init__(self, core_id: int, machine: "Multicore",
+                 ops: Iterable[Op]) -> None:
+        self.core_id = core_id
+        self._machine = machine
+        self._engine = machine.engine
+        self._config = machine.config
+        self._it: Iterator[Op] = iter(ops)
+        self.stats = machine.stats.domain(f"core{core_id}")
+        self._model = machine.config.persistency
+        self._uses_epochs = self._model in _EPOCH_MODELS
+        self._mgr = machine.managers[core_id]
+        self._ckpt = machine.checkpoints[core_id]
+
+        self.wb: deque[WriteBufferEntry] = deque()
+        self._wb_stores = 0
+        self._wb_lines: Dict[int, int] = {}
+        self._draining = False
+        self._pending_push: Optional[Op] = None
+        self._wt_outstanding = 0
+        self.done = False
+        self._stream_done = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._engine.schedule(0, self._next)
+
+    def _next(self) -> None:
+        try:
+            op = next(self._it)
+        except StopIteration:
+            self._stream_done = True
+            self._check_done()
+            return
+        kind = op.kind
+        if kind is OpKind.COMPUTE:
+            self._engine.schedule(op.cycles, self._next)
+        elif kind is OpKind.TXN_MARK:
+            self.stats.bump("txns")
+            self._engine.schedule(0, self._next)
+        elif kind is OpKind.LOAD:
+            self._issue_load(op)
+        elif kind is OpKind.STORE:
+            self._issue_store(op)
+        elif kind is OpKind.BARRIER:
+            self._issue_barrier()
+        elif kind is OpKind.STRAND:
+            self._issue_strand(op)
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise ValueError(f"unknown op kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def _issue_load(self, op: Op) -> None:
+        line = self._config.line_of(op.addr)
+        self.stats.bump("loads")
+        if self._wb_lines.get(line):
+            # Store-to-load forwarding out of the write buffer.
+            self.stats.bump("wb_forwards")
+            self._engine.schedule(1, self._next)
+            return
+        self._machine.load(self.core_id, line, on_done=self._load_done)
+
+    def _load_done(self, _time: int) -> None:
+        self._next()
+
+    # ------------------------------------------------------------------
+    # Stores and barriers (issue side)
+    # ------------------------------------------------------------------
+    def _issue_store(self, op: Op) -> None:
+        if self._wb_stores + self._wt_outstanding >= self._config.write_buffer_entries:
+            self.stats.bump("wb_full_stalls")
+            self._pending_push = op
+            return
+        line = self._config.line_of(op.addr)
+        values: Optional[Dict[int, object]] = None
+        if self._machine.track_values:
+            values = {op.addr - line: op.value}
+        self._push(WriteBufferEntry(line, values))
+        self._wb_stores += 1
+        self._wb_lines[line] = self._wb_lines.get(line, 0) + 1
+        self.stats.bump("stores")
+        self._engine.schedule(self._config.issue_width_cycles, self._next)
+
+    def _issue_barrier(self) -> None:
+        self.stats.bump("barriers")
+        if not self._uses_epochs or self._model is PersistencyModel.BSP:
+            # NP/SP/WT ignore explicit barriers; under BSP bulk mode the
+            # hardware inserts its own.
+            self._engine.schedule(0, self._next)
+            return
+        ep_wait = self._model is PersistencyModel.EP
+        self._push(WriteBufferEntry(is_barrier=True, ep_wait=ep_wait))
+        if not ep_wait:
+            self._engine.schedule(0, self._next)
+        # For EP the core parks here; the marker's drain handler resumes
+        # it once the epoch persists (rule E2 of section 2.1).
+
+    def _issue_strand(self, op: Op) -> None:
+        if self._uses_epochs:
+            self._push(WriteBufferEntry(strand=op.value))
+        self._engine.schedule(0, self._next)
+
+    def _push(self, entry: WriteBufferEntry) -> None:
+        self.wb.append(entry)
+        if not self._draining:
+            self._draining = True
+            self._engine.schedule(0, self._drain)
+
+    # ------------------------------------------------------------------
+    # Write-buffer drain (epoch tagging happens here)
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        if not self.wb:
+            self._draining = False
+            self._check_done()
+            return
+        entry = self.wb[0]
+        if entry.is_barrier:
+            self._drain_barrier(entry)
+            return
+        if entry.strand is not None:
+            self.wb.popleft()
+            self._mgr.set_strand(entry.strand)
+            self._engine.schedule(0, self._drain)
+            return
+        if self._model is PersistencyModel.SP:
+            self._machine.store(
+                self.core_id, entry.line, entry.values, None,
+                on_done=self._drained, persist_sync=True,
+            )
+            return
+        if self._model is PersistencyModel.BSP_WT or not self._uses_epochs:
+            if self._model is PersistencyModel.BSP_WT:
+                self._wt_outstanding += 1
+                self._machine.store(
+                    self.core_id, entry.line, entry.values, None,
+                    on_done=self._drained, wt_async=True,
+                    on_persist_ack=self._wt_acked,
+                )
+            else:
+                self._machine.store(
+                    self.core_id, entry.line, entry.values, None,
+                    on_done=self._drained,
+                )
+            return
+
+        # Epoch-tagged store path (EP / BEP / BSP).
+        current = self._mgr.current
+        if (
+            self._model is PersistencyModel.BSP
+            and current is not None
+            and current.num_stores + current.pending_stores
+            >= self._config.bsp_epoch_stores
+        ):
+            # Bulk mode: the persistence engine closes the epoch after N
+            # dynamic stores and checkpoints processor state (section 5.2).
+            self._hardware_barrier()
+            current = None
+        if current is None and not self._mgr.can_open_epoch():
+            # All 2^3 epoch IDs are in flight (section 4.3): no store may
+            # begin a new epoch until the oldest persists.
+            self.stats.bump("epoch_window_stalls")
+            oldest = self._mgr.oldest_unpersisted()
+            oldest.on_persist(self._drain)
+            self._machine.arbiters[self.core_id].request_flush_upto(
+                oldest, online=True, mark_conflict=False
+            )
+            return
+        epoch = self._mgr.tag_store()
+        self._machine.store(
+            self.core_id, entry.line, entry.values, epoch,
+            on_done=lambda t, e=epoch: self._drained_epoch(e),
+        )
+
+    def _drain_barrier(self, entry: WriteBufferEntry) -> None:
+        self.wb.popleft()
+        closed = self._mgr.close_current()
+        if self._model is PersistencyModel.EP and entry.ep_wait:
+            if closed is None:
+                self._engine.schedule(0, self._next)
+            else:
+                self.stats.bump("ep_barrier_stalls")
+                closed.on_persist(self._next)
+                self._machine.arbiters[self.core_id].request_flush_upto(
+                    closed, online=True, mark_conflict=False
+                )
+        self._engine.schedule(0, self._drain)
+
+    def _hardware_barrier(self) -> None:
+        """BSP bulk mode: hardware-inserted barrier + register checkpoint."""
+        closed = self._mgr.close_current()
+        if closed is not None:
+            self.stats.bump("hw_barriers")
+            self._ckpt.capture(closed)
+
+    # -- drain completions ------------------------------------------------
+    def _drained_epoch(self, epoch) -> None:
+        self._mgr.store_drained(epoch)
+        self._pop_store()
+
+    def _drained(self, _time: int) -> None:
+        self._pop_store()
+
+    def _pop_store(self) -> None:
+        entry = self.wb.popleft()
+        self._wb_stores -= 1
+        count = self._wb_lines[entry.line] - 1
+        if count:
+            self._wb_lines[entry.line] = count
+        else:
+            del self._wb_lines[entry.line]
+        self._resume_pending_push()
+        self._drain()
+
+    def _wt_acked(self, _time: int) -> None:
+        self._wt_outstanding -= 1
+        self._resume_pending_push()
+        self._check_done()
+
+    def _resume_pending_push(self) -> None:
+        if self._pending_push is None:
+            return
+        if self._wb_stores + self._wt_outstanding >= self._config.write_buffer_entries:
+            return
+        op, self._pending_push = self._pending_push, None
+        self._issue_store(op)
+
+    # ------------------------------------------------------------------
+    def _check_done(self) -> None:
+        if (
+            not self.done
+            and self._stream_done
+            and not self.wb
+            and self._wt_outstanding == 0
+        ):
+            self.done = True
+            if (
+                self._model is PersistencyModel.BSP
+                and self._mgr.current is not None
+            ):
+                # Close the trailing hardware epoch so it checkpoints and
+                # persists like any other.
+                self._hardware_barrier()
+            self._machine.core_finished(self.core_id)

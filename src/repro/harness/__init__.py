@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.runner`      -- machine presets (tiny/small/paper
+  scales) and single-run drivers for BEP microbenchmarks and BSP apps.
+* :mod:`repro.harness.experiments` -- one driver per figure: fig11
+  (BEP throughput), fig12 (conflicting epochs), fig13 (BSP epoch-size
+  sweep), fig14 (BSP designs), plus the in-text ablations (clwb vs
+  clflush, naive write-through BSP, inter-thread conflict share).
+* :mod:`repro.harness.report`      -- table/series formatting.
+
+Command line::
+
+    python -m repro.harness.experiments fig11 --scale small
+"""
+
+from repro.harness.runner import (
+    Scale,
+    bep_machine_config,
+    bsp_machine_config,
+    run_bep,
+    run_bsp,
+)
+
+__all__ = [
+    "Scale",
+    "bep_machine_config",
+    "bsp_machine_config",
+    "run_bep",
+    "run_bsp",
+]

@@ -1,0 +1,120 @@
+"""Derived-metric analysis of run results.
+
+Turns the raw counters of a :class:`~repro.system.RunResult` into the
+quantities you reason about when reading the paper: where the overhead
+over NP comes from (conflict stalls vs NVRAM traffic vs logging), how
+much each design's machinery was exercised, and side-by-side design
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.harness.report import FigureTable
+from repro.system import RunResult
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Accounting of one persistent run against a non-persistent one."""
+
+    slowdown: float                 # time / NP time
+    online_stall_cycles: float      # total cycles requests spent parked
+    stall_share_of_overhead: float  # stalls / (extra thread-cycles)
+    conflicts_intra: int
+    conflicts_inter: int
+    conflicts_eviction: int
+    idt_absorbed: int               # inter conflicts IDT handled offline
+    epoch_splits: int
+    window_stalls: int
+    writes_data: int
+    writes_log: int
+    writes_checkpoint: int
+    writes_eviction: int
+
+    @property
+    def writes_total(self) -> int:
+        return (self.writes_data + self.writes_log
+                + self.writes_checkpoint + self.writes_eviction)
+
+    def describe(self) -> str:
+        lines = [
+            f"slowdown over NP        : {self.slowdown:.2f}x",
+            f"online stall cycles     : {self.online_stall_cycles:,.0f} "
+            f"({self.stall_share_of_overhead:.0%} of the overhead)",
+            f"conflicts               : intra={self.conflicts_intra} "
+            f"inter={self.conflicts_inter} "
+            f"eviction={self.conflicts_eviction} "
+            f"(IDT absorbed {self.idt_absorbed})",
+            f"epoch splits            : {self.epoch_splits}",
+            f"epoch-window stalls     : {self.window_stalls}",
+            f"NVRAM writes            : {self.writes_total} "
+            f"(data={self.writes_data} log={self.writes_log} "
+            f"ckpt={self.writes_checkpoint} evict={self.writes_eviction})",
+        ]
+        return "\n".join(lines)
+
+
+def overhead_breakdown(result: RunResult,
+                       baseline: Optional[RunResult] = None
+                       ) -> OverheadBreakdown:
+    """Break a run's persistence overhead down by mechanism.
+
+    ``baseline`` is the NP run of the same trace; without one, the
+    slowdown and overhead share are reported against the run itself
+    (slowdown 1.0).
+    """
+    time = result.cycles_durable or result.cycles_visible or 0
+    base_time = time
+    if baseline is not None:
+        base_time = (baseline.cycles_durable
+                     or baseline.cycles_visible or time)
+    conflicts = result.stats.domain("conflicts")
+    stalls = conflicts.total("online_stall_cycles")
+    threads = result.config.num_cores
+    extra = max(1.0, (time - base_time) * threads)
+    nvram = result.stats.domain("nvram")
+    return OverheadBreakdown(
+        slowdown=time / base_time if base_time else 0.0,
+        online_stall_cycles=stalls,
+        stall_share_of_overhead=min(1.0, stalls / extra),
+        conflicts_intra=conflicts.get("intra_thread"),
+        conflicts_inter=conflicts.get("inter_thread"),
+        conflicts_eviction=conflicts.get("eviction_conflicts"),
+        idt_absorbed=conflicts.get("idt_tracked"),
+        epoch_splits=result.stats.total("epoch_splits"),
+        window_stalls=result.stats.total("epoch_window_stalls"),
+        writes_data=nvram.get("writes_data"),
+        writes_log=nvram.get("writes_log"),
+        writes_checkpoint=nvram.get("writes_checkpoint"),
+        writes_eviction=nvram.get("writes_eviction"),
+    )
+
+
+def compare_designs(results: Dict[str, RunResult],
+                    baseline: Optional[RunResult] = None,
+                    metric: str = "durable") -> FigureTable:
+    """Side-by-side table of runs of the same trace under different
+    designs.  ``metric`` selects 'durable' or 'visible' time, or
+    'throughput'."""
+    table = FigureTable(
+        f"Design comparison ({metric}"
+        + (", normalized to NP)" if baseline else ")"),
+        list(results), summary="none",
+    )
+
+    def value(result: RunResult) -> float:
+        if metric == "throughput":
+            return result.throughput
+        if metric == "visible":
+            return float(result.cycles_visible or 0)
+        return float(result.cycles_durable or 0)
+
+    base = value(baseline) if baseline is not None else 1.0
+    table.add_row(
+        metric,
+        [value(r) / base if base else 0.0 for r in results.values()],
+    )
+    return table

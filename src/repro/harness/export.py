@@ -1,0 +1,80 @@
+"""Figure export: CSV files and terminal bar charts.
+
+The paper's figures are grouped bar charts; ``render_bars`` draws the
+same shape in a terminal (one block row per benchmark x series), and
+``write_csv`` emits the data for external plotting.  Both operate on
+:class:`~repro.harness.report.FigureTable`, so every experiment driver
+gets them for free.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.harness.report import FigureTable
+
+_BAR_GLYPH = "█"
+_PARTIAL_GLYPHS = " ▏▎▍▌▋▊▉"
+
+
+def write_csv(table: FigureTable, path: Union[str, Path]) -> Path:
+    """Write a figure table (rows x series, plus summary) as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["benchmark"] + list(table.columns))
+        for name, values in table.rows:
+            writer.writerow([name] + [f"{v:.6g}" for v in values])
+        summary = table.summary_row()
+        if summary is not None:
+            writer.writerow([summary[0]] + [f"{v:.6g}" for v in summary[1]])
+    return path
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = _BAR_GLYPH * whole
+    partial_index = int(frac * (len(_PARTIAL_GLYPHS) - 1))
+    if partial_index:
+        bar += _PARTIAL_GLYPHS[partial_index]
+    return bar
+
+
+def render_bars(table: FigureTable, width: int = 40,
+                baseline: Optional[float] = None) -> str:
+    """Render the table as a horizontal grouped bar chart.
+
+    ``baseline`` draws a reference line label (e.g. 1.0 for normalized
+    results).  Bars are scaled to the maximum value in the table.
+    """
+    out = io.StringIO()
+    peak = max(
+        (value for _name, values in table.rows for value in values),
+        default=1.0,
+    )
+    summary = table.summary_row()
+    if summary is not None:
+        peak = max([peak] + list(summary[1]))
+    label_width = max(len(c) for c in table.columns) + 2
+    out.write(table.title + "\n")
+    groups = list(table.rows)
+    if summary is not None:
+        groups.append(summary)
+    for name, values in groups:
+        out.write(f"{name}\n")
+        for column, value in zip(table.columns, values):
+            bar = _bar(value, peak, width)
+            out.write(f"  {column:<{label_width}}{bar} {value:.3f}\n")
+    if baseline is not None:
+        offset = int(baseline / peak * width) if peak else 0
+        out.write(f"  {'':<{label_width}}{'-' * offset}^ "
+                  f"baseline {baseline:g}\n")
+    return out.getvalue()

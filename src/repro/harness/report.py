@@ -1,0 +1,105 @@
+"""Table and series formatting for experiment output.
+
+Every figure in the paper is a grouped bar chart over benchmarks; in a
+terminal that is a table with one row per benchmark and one column per
+series, closed by the paper's summary statistic (gmean for throughput
+and execution time, amean for conflict percentages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import arithmetic_mean, geometric_mean
+
+
+class FigureTable:
+    """Rows = benchmarks, columns = series; renders aligned text."""
+
+    def __init__(self, title: str, columns: Sequence[str],
+                 summary: str = "gmean") -> None:
+        if summary not in ("gmean", "amean", "none"):
+            raise ValueError(f"unknown summary kind {summary!r}")
+        self.title = title
+        self.columns = list(columns)
+        self.summary = summary
+        self.rows: List[tuple] = []
+
+    def add_row(self, name: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row {name!r} has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append((name, list(values)))
+
+    # ------------------------------------------------------------------
+    def summary_row(self) -> Optional[tuple]:
+        if self.summary == "none" or not self.rows:
+            return None
+        mean = geometric_mean if self.summary == "gmean" else arithmetic_mean
+        values = [
+            mean([row[1][i] for row in self.rows])
+            for i in range(len(self.columns))
+        ]
+        return (self.summary, values)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        out = {
+            name: dict(zip(self.columns, values))
+            for name, values in self.rows
+        }
+        summary = self.summary_row()
+        if summary is not None:
+            out[summary[0]] = dict(zip(self.columns, summary[1]))
+        return out
+
+    def render(self, precision: int = 3) -> str:
+        name_width = max(
+            [len(self.title)]
+            + [len(name) for name, _ in self.rows]
+            + [len(self.summary)]
+        )
+        col_width = max(
+            [precision + 4] + [len(c) for c in self.columns]
+        ) + 2
+        lines = [
+            self.title,
+            "-" * (name_width + col_width * len(self.columns)),
+            "".ljust(name_width)
+            + "".join(c.rjust(col_width) for c in self.columns),
+        ]
+
+        def fmt(name: str, values: Sequence[float]) -> str:
+            return name.ljust(name_width) + "".join(
+                f"{v:.{precision}f}".rjust(col_width) for v in values
+            )
+
+        for name, values in self.rows:
+            lines.append(fmt(name, values))
+        summary = self.summary_row()
+        if summary is not None:
+            lines.append("-" * (name_width + col_width * len(self.columns)))
+            lines.append(fmt(summary[0], summary[1]))
+        return "\n".join(lines)
+
+
+def normalize_rows(
+    raw: Dict[str, Dict[str, float]],
+    baseline_column: str,
+    invert: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Normalize each row to its value in ``baseline_column``.
+
+    ``invert=False`` gives value/baseline (throughput-style, higher is
+    better); ``invert`` keeps the same ratio orientation but is provided
+    for callers that pass times and want slowdowns -- time/baseline is
+    already a slowdown, so both orientations reduce to value/baseline.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name, row in raw.items():
+        base = row[baseline_column]
+        if base == 0:
+            raise ZeroDivisionError(f"zero baseline for {name!r}")
+        out[name] = {col: value / base for col, value in row.items()}
+    return out

@@ -1,0 +1,166 @@
+"""Machine presets and single-experiment runners.
+
+Experiments run at three scales:
+
+* ``tiny``  -- 2 cores, short runs; used by the test suite.
+* ``small`` -- 8 cores; the default for the benchmark harness.  All the
+  paper's results are normalized ratios, which are stable under this
+  scaling (the per-core cache and bandwidth ratios are preserved).
+* ``paper`` -- the full Table 1 machine (32 cores, 32 LLC banks, 4 MCs).
+
+The BEP runs give every thread its own microbenchmark instance (the
+NVHeaps benchmarks shard per thread); the BSP runs share one profile
+pool across threads, as the real multithreaded workloads do.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.config import BarrierDesign, FlushMode, MachineConfig, PersistencyModel
+from repro.system import Multicore, RunResult
+from repro.workloads.apps import app_programs
+from repro.workloads.micro import make_benchmark
+
+
+class Scale(enum.Enum):
+    TINY = "tiny"
+    SMALL = "small"
+    PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class _ScaleParams:
+    threads: int
+    bep_transactions: int
+    bsp_mem_ops: int
+
+
+_SCALE_PARAMS = {
+    Scale.TINY: _ScaleParams(threads=2, bep_transactions=40, bsp_mem_ops=4000),
+    Scale.SMALL: _ScaleParams(threads=8, bep_transactions=120, bsp_mem_ops=12000),
+    Scale.PAPER: _ScaleParams(threads=32, bep_transactions=300, bsp_mem_ops=40000),
+}
+
+# The paper sweeps epoch sizes of 300 / 1000 / 10000 dynamic stores over
+# runs executing billions of instructions.  Our runs are shorter, so the
+# sweep sizes scale with run length to keep the epochs-per-run and
+# epochs-per-window ratios in the regime the paper studies (the ~1:3:30
+# ratio between sizes is preserved).  See EXPERIMENTS.md.
+BSP_EPOCH_SIZES = {
+    Scale.TINY: (30, 100, 1000),
+    Scale.SMALL: (50, 150, 1500),
+    Scale.PAPER: (300, 1000, 10000),
+}
+
+
+def default_bsp_epoch_size(scale: Scale) -> int:
+    """The 'large' (best-performing) epoch size at this scale, used for
+    the Figure 14 design comparison."""
+    return BSP_EPOCH_SIZES[scale][-1]
+
+
+def _base_config(scale: Scale, **overrides) -> MachineConfig:
+    if scale is Scale.TINY:
+        return MachineConfig.tiny(**overrides)
+    if scale is Scale.SMALL:
+        return MachineConfig.small(**overrides)
+    return MachineConfig.paper(**overrides)
+
+
+def bep_machine_config(
+    scale: Scale,
+    design: BarrierDesign,
+    flush_mode: FlushMode = FlushMode.CLWB,
+    **overrides,
+) -> MachineConfig:
+    return _base_config(
+        scale,
+        persistency=PersistencyModel.BEP,
+        barrier_design=design,
+        flush_mode=flush_mode,
+        **overrides,
+    )
+
+
+def bsp_machine_config(
+    scale: Scale,
+    design: BarrierDesign,
+    epoch_stores: int = 10_000,
+    undo_logging: bool = True,
+    persistency: PersistencyModel = PersistencyModel.BSP,
+    **overrides,
+) -> MachineConfig:
+    # Whole-application write streams spread across the full physical
+    # address space, so per-controller bank-level parallelism sustains a
+    # higher line rate than the hot-region microbenchmark traffic; the
+    # BSP experiments therefore run with a lower write occupancy.  This
+    # keeps the runs in the regime the paper evaluates (NVRAM bandwidth
+    # adequate at large epochs -- LB++NOLOG ~1.16x -- with conflicts,
+    # logging and checkpoints supplying the rest of the overhead).
+    overrides.setdefault("mc_write_occupancy", 20)
+    overrides.setdefault("mc_read_occupancy", 10)
+    return _base_config(
+        scale,
+        persistency=persistency,
+        barrier_design=design,
+        bsp_epoch_stores=epoch_stores,
+        undo_logging=undo_logging,
+        **overrides,
+    )
+
+
+def run_bep(
+    benchmark: str,
+    design: BarrierDesign,
+    scale: Scale = Scale.SMALL,
+    seed: int = 1,
+    transactions: Optional[int] = None,
+    flush_mode: FlushMode = FlushMode.CLWB,
+    **config_overrides,
+) -> RunResult:
+    """One BEP microbenchmark run: per-thread structure instances."""
+    params = _SCALE_PARAMS[scale]
+    txns = transactions if transactions is not None else params.bep_transactions
+    config = bep_machine_config(scale, design, flush_mode, **config_overrides)
+    machine = Multicore(config)
+    programs = [
+        make_benchmark(
+            benchmark, thread_id=tid, seed=seed, line_size=config.line_size
+        ).ops(txns)
+        for tid in range(params.threads)
+    ]
+    result = machine.run(programs)
+    if not result.finished:
+        raise RuntimeError(f"BEP run {benchmark}/{design.value} did not finish")
+    return result
+
+
+def run_bsp(
+    app: str,
+    design: BarrierDesign,
+    scale: Scale = Scale.SMALL,
+    seed: int = 1,
+    epoch_stores: int = 10_000,
+    undo_logging: bool = True,
+    persistency: PersistencyModel = PersistencyModel.BSP,
+    mem_ops: Optional[int] = None,
+    **config_overrides,
+) -> RunResult:
+    """One BSP (or NP/BSP-WT baseline) application run."""
+    params = _SCALE_PARAMS[scale]
+    ops = mem_ops if mem_ops is not None else params.bsp_mem_ops
+    config = bsp_machine_config(
+        scale, design, epoch_stores, undo_logging, persistency,
+        **config_overrides,
+    )
+    machine = Multicore(config)
+    programs = app_programs(
+        app, params.threads, ops, seed=seed, line_size=config.line_size
+    )
+    result = machine.run(programs)
+    if not result.finished:
+        raise RuntimeError(f"BSP run {app}/{design.value} did not finish")
+    return result

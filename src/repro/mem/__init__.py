@@ -1,0 +1,32 @@
+"""Memory-hierarchy substrate.
+
+Implements the machine of Figure 2 in the paper: per-core private L1
+caches, a shared multi-banked LLC, a 2D-mesh on-chip interconnect, and
+multiple memory controllers fronting NVRAM.
+
+* :mod:`repro.mem.address`      -- line/bank/controller address mapping.
+* :mod:`repro.mem.interconnect` -- 2D mesh latency model.
+* :mod:`repro.mem.cache`        -- set-associative cache arrays with
+  epoch-tagged dirty lines.
+* :mod:`repro.mem.coherence`    -- the MSI directory tracking owners and
+  sharers (the source of inter-thread conflict detection).
+* :mod:`repro.mem.nvram`        -- memory controllers (bandwidth/queueing
+  model) and the persistent-memory image used by the recovery checker.
+"""
+
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheEntry, SetAssociativeCache
+from repro.mem.coherence import Directory, DirectoryEntry
+from repro.mem.interconnect import Mesh
+from repro.mem.nvram import MemoryController, NVRAMImage
+
+__all__ = [
+    "AddressMap",
+    "CacheEntry",
+    "Directory",
+    "DirectoryEntry",
+    "MemoryController",
+    "Mesh",
+    "NVRAMImage",
+    "SetAssociativeCache",
+]

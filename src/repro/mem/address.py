@@ -1,0 +1,46 @@
+"""Address mapping: byte address -> line -> LLC bank -> memory controller.
+
+The machine is tiled: core *i* and LLC bank *i* share tile *i* of the
+mesh (the paper's Figure 2 layout, one L2 tile per core).  Lines are
+interleaved across LLC banks and across memory controllers at line
+granularity, which is what gives multiple MCs their bandwidth benefit.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import MachineConfig
+
+
+class AddressMap:
+    """Static address-to-resource mapping for one machine configuration."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self._offset_bits = config.offset_bits
+        self._banks = config.llc_banks
+        self._mcs = config.num_memory_controllers
+        self._line_mask = ~(config.line_size - 1)
+
+    def line_of(self, addr: int) -> int:
+        """Aligned cache-line address containing ``addr``."""
+        return addr & self._line_mask
+
+    def bank_of(self, line: int) -> int:
+        """LLC bank index holding ``line`` (line-interleaved)."""
+        return (line >> self._offset_bits) % self._banks
+
+    def mc_of(self, line: int) -> int:
+        """Memory controller index serving ``line`` (line-interleaved)."""
+        return (line >> self._offset_bits) % self._mcs
+
+    def is_log_address(self, addr: int) -> bool:
+        """True when ``addr`` falls in the hardware undo-log region."""
+        return (
+            self._config.log_region_base
+            <= addr
+            < self._config.checkpoint_region_base
+        )
+
+    def is_checkpoint_address(self, addr: int) -> bool:
+        """True when ``addr`` falls in the register-checkpoint region."""
+        return addr >= self._config.checkpoint_region_base

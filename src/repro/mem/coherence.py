@@ -1,0 +1,90 @@
+"""MSI directory coherence.
+
+The LLC directory tracks, per line, which core (if any) holds the line
+modified in its private L1 and which cores hold shared copies.  This is
+the machinery that *detects* inter-thread conflicts: a request that finds
+the line dirty under another core's unpersisted epoch (whether the dirty
+copy sits in the remote L1 or has been written back to the LLC) creates a
+new inter-thread persist-ordering constraint (section 3.1).
+
+The directory here is behavioural, not message-accurate: the machine
+consults and updates it atomically per transaction and accounts latency
+separately (remote-L1 forwarding costs an extra mesh round trip).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+
+class DirectoryEntry:
+    """Per-line coherence state."""
+
+    __slots__ = ("owner", "sharers")
+
+    def __init__(self) -> None:
+        # Core whose L1 holds the line in M state, or None.
+        self.owner: Optional[int] = None
+        # Cores holding the line in S state in their L1.
+        self.sharers: Set[int] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<dir owner={self.owner} sharers={sorted(self.sharers)}>"
+
+
+class Directory:
+    """Machine-wide line -> coherence-state map."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line: int) -> DirectoryEntry:
+        ent = self._entries.get(line)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[line] = ent
+        return ent
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        """Entry if one exists, without creating it."""
+        return self._entries.get(line)
+
+    def owner_of(self, line: int) -> Optional[int]:
+        ent = self._entries.get(line)
+        return ent.owner if ent else None
+
+    def drop_core(self, line: int, core_id: int) -> None:
+        """Remove all record of ``core_id`` caching ``line``."""
+        ent = self._entries.get(line)
+        if ent is None:
+            return
+        if ent.owner == core_id:
+            ent.owner = None
+        ent.sharers.discard(core_id)
+        if ent.owner is None and not ent.sharers:
+            del self._entries[line]
+
+    def set_owner(self, line: int, core_id: int) -> None:
+        """Grant ``core_id`` exclusive (M) ownership of ``line``."""
+        ent = self.entry(line)
+        ent.owner = core_id
+        ent.sharers = {core_id}
+
+    def add_sharer(self, line: int, core_id: int) -> None:
+        ent = self.entry(line)
+        ent.sharers.add(core_id)
+        if ent.owner is not None and ent.owner != core_id:
+            # Owner was downgraded to S by the read that added a sharer.
+            ent.sharers.add(ent.owner)
+            ent.owner = None
+
+    def drop_line(self, line: int) -> None:
+        """Forget the line entirely (all copies invalidated)."""
+        self._entries.pop(line, None)
+
+    def clear_owner(self, line: int) -> None:
+        """Downgrade the owner to a sharer (after a writeback)."""
+        ent = self._entries.get(line)
+        if ent and ent.owner is not None:
+            ent.sharers.add(ent.owner)
+            ent.owner = None

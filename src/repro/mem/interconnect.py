@@ -1,0 +1,100 @@
+"""2D-mesh on-chip interconnect latency model.
+
+The paper models the NoC with Garnet (Table 1: 2D mesh, 4 rows, 16B
+flits).  The evaluation never isolates NoC microarchitecture, so we model
+message latency analytically: Manhattan-distance hop count times
+per-hop latency plus router traversals.  Tiles hold a core and its
+co-located LLC bank; memory controllers sit on the chip corners, as in
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import MachineConfig
+
+
+class Mesh:
+    """Hop-latency model of the on-chip 2D mesh."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self._config = config
+        self.rows = config.mesh_rows
+        self.cols = max(1, (config.num_cores + self.rows - 1) // self.rows)
+        self._hop = config.hop_latency
+        self._router = config.router_latency
+        self._mc_tiles = self._corner_tiles(config.num_memory_controllers)
+        # Latency caches: meshes are small, so precompute everything.
+        tiles = self.rows * self.cols
+        self._tile_lat = [
+            [self._latency_between(a, b) for b in range(tiles)]
+            for a in range(tiles)
+        ]
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def tile_of_core(self, core_id: int) -> int:
+        return core_id % (self.rows * self.cols)
+
+    def tile_of_bank(self, bank_id: int) -> int:
+        # Banks are co-located with cores on tiles; with fewer banks than
+        # tiles the banks spread evenly across them.
+        return bank_id % (self.rows * self.cols)
+
+    def tile_of_mc(self, mc_id: int) -> int:
+        return self._mc_tiles[mc_id % len(self._mc_tiles)]
+
+    def _coords(self, tile: int) -> tuple[int, int]:
+        return tile // self.cols, tile % self.cols
+
+    def _corner_tiles(self, count: int) -> list[int]:
+        """Tiles for the memory controllers: the four chip corners."""
+        corners = [
+            0,
+            self.cols - 1,
+            (self.rows - 1) * self.cols,
+            self.rows * self.cols - 1,
+        ]
+        # Deduplicate (tiny meshes) while preserving order.
+        seen: list[int] = []
+        for c in corners:
+            if c not in seen:
+                seen.append(c)
+        return [seen[i % len(seen)] for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def _latency_between(self, tile_a: int, tile_b: int) -> int:
+        ra, ca = self._coords(tile_a)
+        rb, cb = self._coords(tile_b)
+        hops = abs(ra - rb) + abs(ca - cb)
+        return hops * self._hop + (hops + 1) * self._router
+
+    def latency(self, tile_a: int, tile_b: int) -> int:
+        """One-way message latency between two tiles."""
+        return self._tile_lat[tile_a][tile_b]
+
+    def core_to_bank(self, core_id: int, bank_id: int) -> int:
+        return self.latency(self.tile_of_core(core_id), self.tile_of_bank(bank_id))
+
+    def bank_to_mc(self, bank_id: int, mc_id: int) -> int:
+        return self.latency(self.tile_of_bank(bank_id), self.tile_of_mc(mc_id))
+
+    def core_to_mc(self, core_id: int, mc_id: int) -> int:
+        return self.latency(self.tile_of_core(core_id), self.tile_of_mc(mc_id))
+
+    def core_to_core(self, core_a: int, core_b: int) -> int:
+        return self.latency(self.tile_of_core(core_a), self.tile_of_core(core_b))
+
+    def broadcast_from_core(self, core_id: int) -> int:
+        """Latency for a broadcast from a core's tile to reach all banks.
+
+        Used by the epoch arbiter for FlushEpoch and PersistCMP messages
+        (steps 1 and 4 of the Figure 8 handshake).
+        """
+        src = self.tile_of_core(core_id)
+        return max(
+            self.latency(src, self.tile_of_bank(b))
+            for b in range(self._config.llc_banks)
+        )

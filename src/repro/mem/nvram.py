@@ -1,0 +1,186 @@
+"""NVRAM: memory controllers and the persistent-memory image.
+
+The memory controllers model the bandwidth side of persistence.  Each
+controller is a FIFO server: a line write occupies the controller for
+``mc_write_occupancy`` cycles and completes (PersistAck, in the Figure 6/8
+protocol) ``nvram_write_latency`` cycles after it starts service.  Under
+flush storms -- exactly what small BSP epochs produce -- the queue grows
+and persist latency balloons, which is the effect behind Figure 13.
+
+:class:`NVRAMImage` is the correctness oracle.  Every line write that the
+controller acknowledges is recorded with a global persist sequence number
+and the epoch that produced the value.  The recovery checker replays this
+record to verify that the persisted state at any crash point respects the
+epoch happens-before order (and, for BSP, that undo logging restores
+epoch atomicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.config import MachineConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import StatDomain
+
+
+@dataclass(frozen=True)
+class PersistRecord:
+    """One acknowledged NVRAM line write."""
+
+    index: int          # global persist sequence number
+    time: int           # cycle at which the write became durable
+    line: int
+    core_id: int        # core whose epoch produced the value (-1: none)
+    epoch_seq: int      # per-core epoch sequence number (-1: none)
+    kind: str           # "data", "log", "checkpoint", "eviction"
+
+
+class NVRAMImage:
+    """Durable state: what survives a crash.
+
+    Tracks the last persisted value tokens per line and, when
+    ``track_order`` is on, the full ordered history of persists for the
+    recovery checker.
+    """
+
+    def __init__(self, track_order: bool = False) -> None:
+        self.track_order = track_order
+        self._next_index = 0
+        # line -> (offset -> token) of the last persisted version.
+        self.values: Dict[int, Dict[int, object]] = {}
+        # line -> PersistRecord of the last persist.
+        self.last_persist: Dict[int, PersistRecord] = {}
+        self.history: List[PersistRecord] = []
+        # Undo-log region contents: log_line -> (data_line, old values).
+        self.log_entries: Dict[int, Tuple[int, Dict[int, object]]] = {}
+
+    def commit(
+        self,
+        time: int,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        values: Optional[Dict[int, object]] = None,
+    ) -> PersistRecord:
+        record = PersistRecord(
+            self._next_index, time, line, core_id, epoch_seq, kind
+        )
+        self._next_index += 1
+        self.last_persist[line] = record
+        if values is not None:
+            self.values[line] = dict(values)
+        if self.track_order:
+            self.history.append(record)
+        return record
+
+    def commit_log(
+        self,
+        time: int,
+        log_line: int,
+        data_line: int,
+        core_id: int,
+        epoch_seq: int,
+        old_values: Optional[Dict[int, object]],
+    ) -> PersistRecord:
+        """Record an undo-log entry becoming durable."""
+        self.log_entries[log_line] = (data_line, dict(old_values or {}))
+        return self.commit(time, log_line, core_id, epoch_seq, "log")
+
+    @property
+    def persist_count(self) -> int:
+        return self._next_index
+
+
+class MemoryController:
+    """One NVRAM memory controller: a FIFO server with fixed latencies."""
+
+    def __init__(
+        self,
+        mc_id: int,
+        config: MachineConfig,
+        engine: Engine,
+        image: NVRAMImage,
+        stats: StatDomain,
+    ) -> None:
+        self.mc_id = mc_id
+        self._config = config
+        self._engine = engine
+        self._image = image
+        self._stats = stats
+        self._busy_until = 0
+
+    def _service_start(self, occupancy: int) -> int:
+        start = max(self._engine.now, self._busy_until)
+        self._busy_until = start + occupancy
+        queue_wait = start - self._engine.now
+        self._stats.record("queue_wait", queue_wait)
+        return start
+
+    # ------------------------------------------------------------------
+    def read(self, line: int, callback: Callable[[int], None]) -> None:
+        """Schedule a line read; ``callback(completion_time)`` fires when
+        the data is available at the controller."""
+        start = self._service_start(self._config.mc_read_occupancy)
+        done = start + self._config.nvram_read_latency
+        self._stats.bump("reads")
+        self._engine.schedule_at(done, callback, done)
+
+    def write(
+        self,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        values: Optional[Dict[int, object]] = None,
+        callback: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Schedule a durable line write (a persist).
+
+        The write is committed to the :class:`NVRAMImage` at its completion
+        time, then ``callback(completion_time)`` fires (the PersistAck).
+        """
+        start = self._service_start(self._config.mc_write_occupancy)
+        done = start + self._config.nvram_write_latency
+        self._stats.bump("writes")
+        self._stats.bump(f"writes_{kind}")
+
+        def _complete(time: int = done) -> None:
+            if kind == "log":
+                # ``line`` here is the log-region address; the data line and
+                # old values ride in ``values`` via a convention handled by
+                # the undo-log module, which calls commit_log directly.
+                raise AssertionError(
+                    "log writes must go through write_log()"
+                )
+            self._image.commit(time, line, core_id, epoch_seq, kind, values)
+            if callback is not None:
+                callback(time)
+
+        self._engine.schedule_at(done, _complete)
+
+    def write_log(
+        self,
+        log_line: int,
+        data_line: int,
+        core_id: int,
+        epoch_seq: int,
+        old_values: Optional[Dict[int, object]],
+        callback: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Schedule an undo-log entry write (section 5.2.1)."""
+        start = self._service_start(self._config.mc_write_occupancy)
+        done = start + self._config.nvram_write_latency
+        self._stats.bump("writes")
+        self._stats.bump("writes_log")
+
+        def _complete() -> None:
+            self._image.commit_log(
+                done, log_line, data_line, core_id, epoch_seq, old_values
+            )
+            if callback is not None:
+                callback(done)
+
+        self._engine.schedule_at(done, _complete)

@@ -1,0 +1,39 @@
+"""Crash injection and recovery checking.
+
+* :mod:`repro.recovery.crash`   -- run a machine up to an arbitrary
+  crash cycle and extract the durable state.
+* :mod:`repro.recovery.checker` -- verify that the durable state at the
+  crash point is consistent: the epoch happens-before order was never
+  violated by the persist stream (BEP), and partially persisted epochs
+  are undoable from the hardware log (BSP).
+* :mod:`repro.recovery.rebuild` -- actually perform recovery: roll torn
+  BSP epochs back via the undo log and reconstruct data structures from
+  the durable image.
+"""
+
+from repro.recovery.checker import (
+    ConsistencyViolation,
+    check_bsp_recoverable,
+    check_epoch_order,
+    check_queue_recoverable,
+)
+from repro.recovery.crash import CrashOutcome, run_with_crash
+from repro.recovery.rebuild import (
+    RecoveredQueue,
+    RecoveredState,
+    recover_bsp,
+    recover_queue,
+)
+
+__all__ = [
+    "ConsistencyViolation",
+    "CrashOutcome",
+    "check_bsp_recoverable",
+    "check_epoch_order",
+    "check_queue_recoverable",
+    "recover_bsp",
+    "recover_queue",
+    "RecoveredQueue",
+    "RecoveredState",
+    "run_with_crash",
+]

@@ -1,0 +1,96 @@
+"""Crash injection.
+
+A crash is simulated by stopping the event engine at an arbitrary cycle:
+everything the memory controllers have acknowledged by then is durable
+(it is in the :class:`~repro.mem.nvram.NVRAMImage`); everything still in
+caches, write buffers, or in flight to the controllers is lost.  The
+outcome bundles the durable image with the epoch ground truth the
+checkers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.epoch import Epoch
+from repro.mem.nvram import NVRAMImage
+from repro.system import Multicore
+
+
+@dataclass
+class EpochRecord:
+    """Ground truth about one epoch, for the checkers."""
+
+    core_id: int
+    seq: int
+    all_lines: frozenset
+    source_keys: frozenset  # (core_id, seq) of IDT sources
+    persisted: bool
+    strand: int = 0
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.core_id, self.seq)
+
+
+@dataclass
+class CrashOutcome:
+    """Everything that survives the crash, plus checker ground truth."""
+
+    crash_cycle: int
+    image: NVRAMImage
+    epochs: Dict[Tuple[int, int], EpochRecord]
+
+    def epochs_of_core(self, core_id: int) -> List[EpochRecord]:
+        records = [r for r in self.epochs.values() if r.core_id == core_id]
+        records.sort(key=lambda r: r.seq)
+        return records
+
+
+def _record_epoch(epoch: Epoch) -> EpochRecord:
+    return EpochRecord(
+        core_id=epoch.core_id,
+        seq=epoch.seq,
+        all_lines=frozenset(epoch.all_lines),
+        source_keys=frozenset(epoch.all_sources),
+        persisted=epoch.persisted,
+        strand=epoch.strand,
+    )
+
+
+def snapshot_epochs(machine: Multicore) -> Dict[Tuple[int, int], EpochRecord]:
+    """Capture every epoch the machine created (requires
+    ``keep_epoch_log=True``)."""
+    records: Dict[Tuple[int, int], EpochRecord] = {}
+    for mgr in machine.managers:
+        if not mgr.keep_retired:
+            raise ValueError(
+                "snapshot_epochs needs a machine built with "
+                "keep_epoch_log=True"
+            )
+        for epoch in list(mgr.retired) + list(mgr.window):
+            record = _record_epoch(epoch)
+            records[record.key] = record
+    return records
+
+
+def run_with_crash(
+    machine: Multicore,
+    programs: List,
+    crash_cycle: int,
+) -> CrashOutcome:
+    """Run ``programs`` and crash the machine at ``crash_cycle``.
+
+    The machine must have been built with ``track_values=True``,
+    ``track_persist_order=True`` and ``keep_epoch_log=True`` so the
+    checkers have their ground truth.
+    """
+    if not machine.image.track_order:
+        raise ValueError("run_with_crash needs track_persist_order=True")
+    machine.run(programs, max_cycles=crash_cycle, drain=False)
+    return CrashOutcome(
+        crash_cycle=machine.engine.now,
+        image=machine.image,
+        epochs=snapshot_epochs(machine),
+    )

@@ -1,0 +1,113 @@
+"""Statistics collection.
+
+Every component owns a :class:`StatDomain` (a named bag of counters and
+histograms) registered with the machine-wide :class:`Stats` object.  The
+harness reads these after a run to produce the paper's tables and
+figures.  Counters are plain ints -- cheap enough to bump on every
+memory transaction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class StatDomain:
+    """A named namespace of counters and value accumulators."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, int] = defaultdict(int)
+        self._sums: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._maxes: Dict[str, float] = {}
+
+    # -- counters ------------------------------------------------------
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] += amount
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self.counters.get(key, default)
+
+    # -- accumulators (for means / maxima) ------------------------------
+    def record(self, key: str, value: float) -> None:
+        self._sums[key] += value
+        self._counts[key] += 1
+        prev = self._maxes.get(key)
+        if prev is None or value > prev:
+            self._maxes[key] = value
+
+    def mean(self, key: str) -> float:
+        n = self._counts.get(key, 0)
+        return self._sums[key] / n if n else 0.0
+
+    def total(self, key: str) -> float:
+        return self._sums.get(key, 0.0)
+
+    def count(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def maximum(self, key: str) -> float:
+        return self._maxes.get(key, 0.0)
+
+    # -- introspection ---------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = dict(self.counters)
+        for key in self._sums:
+            out[f"{key}.mean"] = self.mean(key)
+            out[f"{key}.total"] = self._sums[key]
+            out[f"{key}.count"] = self._counts[key]
+        return out
+
+    def __repr__(self) -> str:
+        return f"StatDomain({self.name!r}, {dict(self.counters)!r})"
+
+
+class Stats:
+    """Machine-wide registry of stat domains."""
+
+    def __init__(self) -> None:
+        self._domains: Dict[str, StatDomain] = {}
+
+    def domain(self, name: str) -> StatDomain:
+        """Get (creating if needed) the domain with the given name."""
+        dom = self._domains.get(name)
+        if dom is None:
+            dom = StatDomain(name)
+            self._domains[name] = dom
+        return dom
+
+    def __iter__(self) -> Iterator[Tuple[str, StatDomain]]:
+        return iter(sorted(self._domains.items()))
+
+    def total(self, counter: str) -> int:
+        """Sum a counter across all domains (e.g. per-core counters)."""
+        return sum(dom.get(counter) for _, dom in self)
+
+    def flatten(self) -> Dict[str, float]:
+        """All counters as ``domain.counter`` keys, for reports."""
+        out: Dict[str, float] = {}
+        for name, dom in self:
+            for key, value in dom.as_dict().items():
+                out[f"{name}.{key}"] = value
+        return out
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, as used for the paper's gmean bars."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: list[float]) -> float:
+    """Arithmetic mean, as used for the paper's amean bars (Figure 12)."""
+    if not values:
+        raise ValueError("arithmetic mean of empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,938 @@
+"""The multicore machine: wiring and the memory-request state machine.
+
+:class:`Multicore` assembles the substrate (cores, L1s, banked LLC,
+directory, mesh, memory controllers, NVRAM image) with the persistence
+machinery (epoch managers, arbiters, IDT, undo logs, checkpoint engines)
+and implements the per-request flow where the paper's conflicts are
+detected and resolved:
+
+* **intra-thread conflict** -- a store hits a line dirty under an older,
+  unpersisted epoch of the same core: the request stalls while epochs up
+  to and including the source are flushed online (section 3.2).
+* **inter-thread conflict** -- a load or store hits a line dirty under
+  another core's unpersisted epoch: with IDT the dependence is recorded
+  (splitting the source epoch first if it is ongoing, section 3.3) and
+  the request completes; without IDT, or on IDT register overflow, the
+  source epoch chain is flushed online (section 3.1).
+* **eviction conflict** -- replacing a dirty unpersisted LLC line, or
+  writing an L1 victim back onto a different unpersisted LLC version,
+  requires the ordering-predecessor epochs to persist first.
+
+State transitions are atomic at well-defined event times; latency is
+accounted by scheduling the completion callback.  A request that hits a
+conflict is parked and re-executed from scratch when the blocking epochs
+persist -- re-classification keeps the decision consistent with whatever
+changed while it waited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.arbiter import Arbiter
+from repro.core.checkpoint import CheckpointEngine
+from repro.core.epoch import Epoch, EpochManager
+from repro.core.idt import IDTracker
+from repro.core.undo_log import UndoLog
+from repro.cpu.processor import Core
+from repro.mem.address import AddressMap
+from repro.mem.cache import CacheEntry, SetAssociativeCache
+from repro.mem.coherence import Directory
+from repro.mem.interconnect import Mesh
+from repro.mem.nvram import MemoryController, NVRAMImage
+from repro.sim.config import MachineConfig, PersistencyModel
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+from repro.sim.trace import Tracer
+
+_MAX_REQUEST_RETRIES = 1000
+
+
+class SimulationError(RuntimeError):
+    """An internal invariant was violated (a simulator bug, not a model
+    property)."""
+
+
+class _Request:
+    """One in-flight memory request."""
+
+    __slots__ = (
+        "core_id", "line", "is_store", "values", "epoch", "on_done",
+        "persist_sync", "wt_async", "on_persist_ack", "retries",
+        "issue_time",
+    )
+
+    def __init__(self, core_id: int, line: int, is_store: bool,
+                 values: Optional[Dict[int, object]],
+                 epoch: Optional[Epoch],
+                 on_done: Callable[[int], None]) -> None:
+        self.core_id = core_id
+        self.line = line
+        self.is_store = is_store
+        self.values = values
+        self.epoch = epoch
+        self.on_done = on_done
+        self.persist_sync = False
+        self.wt_async = False
+        self.on_persist_ack: Optional[Callable[[int], None]] = None
+        self.retries = 0
+        self.issue_time = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    cycles_visible: Optional[int]
+    cycles_durable: Optional[int]
+    stats: Stats
+    config: MachineConfig
+    finished: bool
+
+    # ------------------------------------------------------------------
+    @property
+    def transactions(self) -> int:
+        return self.stats.total("txns")
+
+    @property
+    def throughput(self) -> float:
+        """Transactions per kilo-cycle (Figure 11's metric before
+        normalization)."""
+        if not self.cycles_visible:
+            return 0.0
+        return 1000.0 * self.transactions / self.cycles_visible
+
+    @property
+    def total_epochs(self) -> int:
+        return self.stats.total("epochs_persisted")
+
+    @property
+    def conflict_epoch_pct(self) -> float:
+        """Percentage of epochs flushed because of a conflict (Figure 12)."""
+        total = self.total_epochs
+        if not total:
+            return 0.0
+        return 100.0 * self.stats.total("epochs_conflict_flushed") / total
+
+    @property
+    def intra_conflicts(self) -> int:
+        return self.stats.domain("conflicts").get("intra_thread")
+
+    @property
+    def inter_conflicts(self) -> int:
+        return self.stats.domain("conflicts").get("inter_thread")
+
+    @property
+    def nvram_writes(self) -> int:
+        return self.stats.total("writes")
+
+
+class Multicore:
+    """The simulated machine of Figure 2."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        *,
+        track_values: bool = False,
+        track_persist_order: bool = False,
+        keep_epoch_log: bool = False,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.config = config
+        self.tracer = tracer
+        self.engine = Engine()
+        self.stats = Stats()
+        self.track_values = track_values
+        self.amap = AddressMap(config)
+        self.mesh = Mesh(config)
+        self.image = NVRAMImage(track_order=track_persist_order)
+
+        mc_stats = self.stats.domain("nvram")
+        self.mcs: List[MemoryController] = [
+            MemoryController(i, config, self.engine, self.image, mc_stats)
+            for i in range(config.num_memory_controllers)
+        ]
+        self.l1s: List[SetAssociativeCache] = [
+            SetAssociativeCache(
+                f"L1.{i}", config.l1_sets, config.l1_assoc,
+                config.line_size, self.stats.domain(f"l1.{i}"),
+            )
+            for i in range(config.num_cores)
+        ]
+        llc_stats = self.stats.domain("llc")
+        self.llc_banks: List[SetAssociativeCache] = [
+            SetAssociativeCache(
+                f"LLC.B{b}", config.llc_bank_sets, config.llc_assoc,
+                config.line_size, llc_stats,
+            )
+            for b in range(config.llc_banks)
+        ]
+        self.directory = Directory()
+
+        self.managers: List[EpochManager] = []
+        self.arbiters: List[Arbiter] = []
+        self.undo_logs: List[UndoLog] = []
+        self.checkpoints: List[CheckpointEngine] = []
+        self.idt = IDTracker(
+            config.idt_registers_per_epoch, self.stats.domain("idt")
+        )
+        for core_id in range(config.num_cores):
+            mgr = EpochManager(
+                core_id, self.engine, self.stats.domain(f"core{core_id}"),
+                config.max_inflight_epochs,
+            )
+            mgr.keep_retired = keep_epoch_log
+            mgr.persist_check = self.maybe_persist
+            self.managers.append(mgr)
+            self.arbiters.append(Arbiter(core_id, self, mgr))
+            self.undo_logs.append(UndoLog(core_id, self))
+            self.checkpoints.append(CheckpointEngine(core_id, self))
+
+        if config.barrier_design.uses_pf and config.persistency.buffered:
+            for mgr in self.managers:
+                mgr.completion_hook = self._proactive_flush
+
+        self._logging_on = (
+            config.undo_logging
+            and config.persistency is PersistencyModel.BSP
+        )
+        self.cores: List[Core] = []
+        self._active_cores = 0
+        self._finish_time: Optional[int] = None
+        self._conflict_stats = self.stats.domain("conflicts")
+
+    # ------------------------------------------------------------------
+    # Public request API (called by cores)
+    # ------------------------------------------------------------------
+    def load(self, core_id: int, line: int,
+             on_done: Callable[[int], None]) -> None:
+        req = _Request(core_id, line, False, None, None, on_done)
+        req.issue_time = self.engine.now
+        self._try_access(req)
+
+    def store(
+        self,
+        core_id: int,
+        line: int,
+        values: Optional[Dict[int, object]],
+        epoch: Optional[Epoch],
+        on_done: Callable[[int], None],
+        persist_sync: bool = False,
+        wt_async: bool = False,
+        on_persist_ack: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        req = _Request(core_id, line, True, values, epoch, on_done)
+        req.persist_sync = persist_sync
+        req.wt_async = wt_async
+        req.on_persist_ack = on_persist_ack
+        req.issue_time = self.engine.now
+        self._try_access(req)
+
+    # ------------------------------------------------------------------
+    # Request state machine
+    # ------------------------------------------------------------------
+    def _try_access(self, req: _Request) -> None:
+        req.retries += 1
+        if req.retries > _MAX_REQUEST_RETRIES:
+            raise SimulationError(
+                f"request for 0x{req.line:x} by core {req.core_id} "
+                f"retried {req.retries} times; likely a livelock bug"
+            )
+        if req.is_store:
+            if req.epoch is not None:
+                # A split may have moved this in-flight store into the
+                # remainder epoch (section 3.3).
+                req.epoch = req.epoch.resolve()
+            self._try_store(req)
+        else:
+            self._try_load(req)
+
+    def _complete(self, req: _Request, latency: int) -> None:
+        done = self.engine.now + latency
+        domain = self.stats.domain(f"core{req.core_id}")
+        domain.record("mem_latency", done - req.issue_time)
+        self.engine.schedule(latency, req.on_done, done)
+
+    # -- loads -----------------------------------------------------------
+    def _try_load(self, req: _Request) -> None:
+        core_id, line = req.core_id, req.line
+        l1 = self.l1s[core_id]
+        entry = l1.lookup(line)
+        if entry is not None:
+            l1.touch(entry)
+            self.stats.domain(f"l1.{core_id}").bump("hits")
+            self._complete(req, self.config.l1_latency)
+            return
+
+        bank = self.amap.bank_of(line)
+        base_lat = (
+            self.config.l1_latency
+            + 2 * self.mesh.core_to_bank(core_id, bank)
+            + self.config.llc_latency
+        )
+        owner = self.directory.owner_of(line)
+        if owner is not None and owner != core_id:
+            o_entry = self.l1s[owner].lookup(line)
+            if o_entry is not None and o_entry.dirty:
+                if o_entry.unpersisted and not self._clear_remote_dependence(
+                    req, o_entry.epoch
+                ):
+                    return
+                if not self._writeback_to_llc(owner, o_entry, req,
+                                              invalidate=False):
+                    return
+                self.directory.clear_owner(line)
+                if not self._fill_l1(core_id, line, req):
+                    return
+                self.directory.add_sharer(line, core_id)
+                lat = base_lat + 2 * self.mesh.core_to_core(owner, core_id)
+                self.stats.domain("llc").bump("forwards")
+                self._complete(req, lat)
+                return
+            # Stale ownership record (the dirty copy was cleaned/evicted).
+            self.directory.clear_owner(line)
+
+        llc_entry = self.llc_banks[bank].lookup(line)
+        if llc_entry is not None:
+            if (
+                llc_entry.unpersisted
+                and llc_entry.epoch.core_id != core_id
+                and not self._clear_remote_dependence(req, llc_entry.epoch)
+            ):
+                return
+            self.llc_banks[bank].touch(llc_entry)
+            if not self._fill_l1(core_id, line, req, source=llc_entry):
+                return
+            self.directory.add_sharer(line, core_id)
+            self.stats.domain("llc").bump("hits")
+            self._complete(req, base_lat)
+            return
+
+        self.stats.domain("llc").bump("misses")
+        self._mem_read_fill(req, bank)
+
+    # -- stores ----------------------------------------------------------
+    def _try_store(self, req: _Request) -> None:
+        core_id, line = req.core_id, req.line
+        l1 = self.l1s[core_id]
+        entry = l1.lookup(line)
+
+        if entry is not None and entry.dirty:
+            # Fast path: this core already owns the line in M state.
+            if entry.unpersisted and entry.epoch is not req.epoch:
+                self._conflict_stats.bump("intra_thread")
+                if self.tracer:
+                    self.tracer.record(
+                        self.engine.now, "conflict", core_id,
+                        type="intra", line=hex(line),
+                        source=str(entry.epoch),
+                    )
+                self._stall_for_flush(req, entry.epoch)
+                return
+            self._finish_store(req, entry, self.config.l1_latency)
+            return
+
+        bank = self.amap.bank_of(line)
+        base_lat = (
+            self.config.l1_latency
+            + 2 * self.mesh.core_to_bank(core_id, bank)
+            + self.config.llc_latency
+        )
+        owner = self.directory.owner_of(line)
+        extra_lat = 0
+        if owner is not None and owner != core_id:
+            o_entry = self.l1s[owner].lookup(line)
+            if o_entry is not None and o_entry.dirty:
+                if o_entry.unpersisted and not self._clear_remote_dependence(
+                    req, o_entry.epoch
+                ):
+                    return
+                # The remote version is written back to the LLC (where it
+                # can still persist with its own epoch) and the remote
+                # copy is invalidated.
+                if not self._writeback_to_llc(owner, o_entry, req,
+                                              invalidate=True):
+                    return
+                extra_lat = 2 * self.mesh.core_to_core(owner, core_id)
+            else:
+                if o_entry is not None:
+                    self.l1s[owner].remove(line)
+                self.directory.drop_core(line, owner)
+
+        llc_entry = self.llc_banks[bank].lookup(line)
+        if llc_entry is not None and llc_entry.unpersisted:
+            src = llc_entry.epoch
+            if src.core_id != core_id:
+                if not self._clear_remote_dependence(req, src):
+                    return
+                # With IDT the old version stays dirty in the LLC and will
+                # persist with its own epoch; the new version lives in the
+                # requester's L1 under the requester's epoch.
+            elif src is not req.epoch:
+                self._conflict_stats.bump("intra_thread")
+                if self.tracer:
+                    self.tracer.record(
+                        self.engine.now, "conflict", core_id,
+                        type="intra", line=hex(line), source=str(src),
+                    )
+                self._stall_for_flush(req, src)
+                return
+            else:
+                # Our own current epoch's version fell back to the LLC
+                # (L1 replacement); pull the dirty state back up so the
+                # line persists from exactly one place.
+                llc_entry.dirty = False
+                llc_entry.epoch = None
+
+        # Invalidate other sharers and take ownership.
+        dir_entry = self.directory.peek(line)
+        if dir_entry is not None:
+            for sharer in list(dir_entry.sharers):
+                if sharer != core_id:
+                    self.l1s[sharer].remove(line)
+
+        if entry is None:
+            if llc_entry is not None:
+                if not self._fill_l1(core_id, line, req, source=llc_entry):
+                    return
+                entry = l1.lookup(line)
+                self.directory.set_owner(line, core_id)
+                self._finish_store(req, entry, base_lat + extra_lat)
+                return
+            # Miss all the way to memory (write-allocate).
+            self._mem_read_fill(req, bank, extra_lat=extra_lat)
+            return
+
+        # Shared hit upgraded to M.
+        self.directory.set_owner(line, core_id)
+        self._finish_store(req, entry, base_lat + extra_lat)
+
+    def _finish_store(self, req: _Request, entry: CacheEntry,
+                      latency: int) -> None:
+        epoch = req.epoch
+        if epoch is not None:
+            # The epoch may have been split while this store was away at
+            # the memory controller; an uncompleted store always lands in
+            # the live remainder epoch.
+            epoch = req.epoch = epoch.resolve()
+        line = req.line
+        core_id = req.core_id
+        if (
+            self._logging_on
+            and epoch is not None
+            and (not entry.dirty or entry.epoch is not epoch)
+        ):
+            # First modification of this line in this epoch: undo-log the
+            # old value (section 5.2.1).
+            old = dict(entry.values) if entry.values is not None else None
+            self.undo_logs[core_id].record(epoch, line, old)
+
+        self.directory.set_owner(line, core_id)
+        if epoch is not None:
+            entry.dirty = True
+            entry.epoch = epoch
+            epoch.lines.add(line)
+            epoch.all_lines.add(line)
+        elif req.persist_sync or req.wt_async:
+            # SP / write-through BSP: the value goes straight to NVRAM;
+            # the cached copy is clean.
+            entry.dirty = False
+            entry.epoch = None
+        else:
+            entry.dirty = True
+            entry.epoch = None
+        if self.track_values and req.values:
+            if entry.values is None:
+                entry.values = {}
+            entry.values.update(req.values)
+        self.l1s[core_id].touch(entry)
+
+        if req.persist_sync:
+            self._persist_through(req, entry, latency, sync=True)
+        elif req.wt_async:
+            self._persist_through(req, entry, latency, sync=False)
+        else:
+            self._complete(req, latency)
+
+    def _persist_through(self, req: _Request, entry: CacheEntry,
+                         latency: int, sync: bool) -> None:
+        line = req.line
+        values = dict(entry.values) if entry.values is not None else None
+        mc = self.mcs[self.amap.mc_of(line)]
+        bank = self.amap.bank_of(line)
+        travel = self.mesh.core_to_mc(req.core_id, self.amap.mc_of(line))
+
+        if sync:
+            def issue_sync() -> None:
+                mc.write(line, req.core_id, -1, "data", values,
+                         callback=lambda t: req.on_done(t))
+            self.engine.schedule(latency + travel, issue_sync)
+        else:
+            ack = req.on_persist_ack
+
+            def issue_async() -> None:
+                mc.write(line, req.core_id, -1, "data", values,
+                         callback=ack)
+            self.engine.schedule(latency + travel, issue_async)
+            self._complete(req, latency)
+
+    # ------------------------------------------------------------------
+    # Conflict resolution
+    # ------------------------------------------------------------------
+    def _clear_remote_dependence(self, req: _Request,
+                                 source: Epoch) -> bool:
+        """Handle an inter-thread conflict against ``source``.
+
+        Returns True when the request may proceed now (IDT recorded the
+        dependence), False when it was parked behind an online flush.
+        """
+        self._conflict_stats.bump("inter_thread")
+        if self.tracer:
+            self.tracer.record(
+                self.engine.now, "conflict", req.core_id,
+                type="inter", line=hex(req.line), source=str(source),
+            )
+        design = self.config.barrier_design
+        src_mgr = self.managers[source.core_id]
+        if design.uses_idt:
+            if source.ongoing:
+                # Deadlock avoidance (section 3.3): split the ongoing
+                # source so the dependence lands on a completed prefix.
+                self._traced_split(src_mgr, source)
+
+            dependent = self.managers[req.core_id].current_or_new()
+            if source.persisted:
+                return True
+            if self.idt.try_record(source, dependent):
+                self._conflict_stats.bump("idt_tracked")
+                if self.tracer:
+                    self.tracer.record(
+                        self.engine.now, "idt_edge", req.core_id,
+                        source=str(source), dependent=str(dependent),
+                    )
+                return True
+        if source.ongoing:
+            # Without IDT (or on register overflow) the source chain must
+            # flush online; split first so the flush can actually finish.
+            self._traced_split(src_mgr, source)
+        self._stall_for_flush(req, source)
+        return False
+
+    def _traced_split(self, src_mgr, source: Epoch) -> None:
+        src_mgr.split_epoch(source)
+        if self.tracer:
+            self.tracer.record(
+                self.engine.now, "epoch_split", source.core_id,
+                epoch=str(source),
+            )
+
+    def _stall_for_flush(self, req: _Request, target: Epoch) -> None:
+        """Park ``req`` until ``target`` (and its predecessors) persist."""
+        self._conflict_stats.bump("online_flush_stalls")
+        start = self.engine.now
+        if self.tracer:
+            self.tracer.record(
+                start, "stall", req.core_id,
+                line=hex(req.line), target=str(target),
+            )
+
+        def resume() -> None:
+            self._conflict_stats.record(
+                "online_stall_cycles", self.engine.now - start
+            )
+            self._try_access(req)
+
+        target.on_persist(resume)
+        self.arbiters[target.core_id].request_flush_upto(target, online=True)
+
+    def _retry_after_all(self, req: _Request, blockers: List[Epoch]) -> None:
+        remaining = [len(blockers)]
+
+        def one_done() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._try_access(req)
+
+        for epoch in blockers:
+            epoch.on_persist(one_done)
+
+    def _eviction_allowed(self, victim_epoch: Epoch,
+                          req: _Request) -> bool:
+        """Check whether a line of ``victim_epoch`` may persist now.
+
+        Replacement of a dirty unpersisted line is an *offline persist* --
+        but only if every happens-before predecessor of the line's epoch
+        has already persisted; otherwise the line would reach NVRAM ahead
+        of older epochs (the Figure 7 violation).  When blocked, the
+        predecessors are flushed online and ``req`` retried.
+        """
+        mgr = self.managers[victim_epoch.core_id]
+        blockers: List[Epoch] = []
+        prev = mgr.predecessor_of(victim_epoch)
+        if prev is not None:
+            blockers.append(prev)
+        blockers.extend(
+            src for src in victim_epoch.idt_sources if not src.persisted
+        )
+        if not blockers:
+            return True
+        self._conflict_stats.bump("eviction_conflicts")
+        for blocker in blockers:
+            self.arbiters[blocker.core_id].request_flush_upto(
+                blocker, online=True
+            )
+        self._retry_after_all(req, blockers)
+        return False
+
+    # ------------------------------------------------------------------
+    # Movement helpers
+    # ------------------------------------------------------------------
+    def _writeback_to_llc(self, owner: int, o_entry: CacheEntry,
+                          req: _Request, invalidate: bool) -> bool:
+        """Write a dirty L1 line back into the LLC, keeping its epoch tag.
+
+        Returns False when the writeback hit a persist-ordering conflict
+        and ``req`` was parked.
+        """
+        line = o_entry.line
+        bank_cache = self.llc_banks[self.amap.bank_of(line)]
+        llc_entry = bank_cache.lookup(line)
+        if llc_entry is None:
+            if not self._make_room_llc(bank_cache, line, req):
+                return False
+            llc_entry = bank_cache.insert(line)
+        elif (
+            llc_entry.unpersisted
+            and llc_entry.epoch is not o_entry.epoch
+        ):
+            # Two-version collision: the LLC's older version must persist
+            # before it can be overwritten.
+            self._conflict_stats.bump("version_collisions")
+            self._stall_for_flush(req, llc_entry.epoch)
+            return False
+
+        if o_entry.values is not None:
+            if llc_entry.values is None:
+                llc_entry.values = {}
+            llc_entry.values.update(o_entry.values)
+        llc_entry.dirty = o_entry.dirty
+        llc_entry.epoch = o_entry.epoch
+        bank_cache.touch(llc_entry)
+        if invalidate:
+            self.l1s[owner].remove(line)
+            self.directory.drop_core(line, owner)
+        else:
+            o_entry.dirty = False
+            o_entry.epoch = None
+        return True
+
+    def _make_room_llc(self, bank_cache: SetAssociativeCache, line: int,
+                       req: _Request) -> bool:
+        victim = bank_cache.victim_for(line)
+        if victim is None:
+            return True
+        if victim.dirty:
+            if victim.unpersisted:
+                if not self._eviction_allowed(victim.epoch, req):
+                    return False
+                self.stats.domain("llc").bump("dirty_evictions")
+                self.persist_line(victim, victim.epoch, kind="eviction")
+                return True
+            self.stats.domain("llc").bump("dirty_evictions")
+            self.persist_line(victim, None, kind="eviction",
+                              evictor_core=req.core_id)
+            return True
+        bank_cache.remove(victim.line)
+        return True
+
+    def _fill_l1(self, core_id: int, line: int, req: _Request,
+                 source: Optional[CacheEntry] = None) -> bool:
+        l1 = self.l1s[core_id]
+        if l1.lookup(line) is not None:
+            return True
+        victim = l1.victim_for(line)
+        if victim is not None:
+            if victim.dirty:
+                if not self._writeback_to_llc(core_id, victim, req,
+                                              invalidate=True):
+                    return False
+            else:
+                l1.remove(victim.line)
+                self.directory.drop_core(victim.line, core_id)
+        entry = l1.insert(line)
+        if self.track_values:
+            if source is not None and source.values is not None:
+                entry.values = dict(source.values)
+            else:
+                stored = self.image.values.get(line)
+                entry.values = dict(stored) if stored else {}
+        return True
+
+    def _mem_read_fill(self, req: _Request, bank: int,
+                       extra_lat: int = 0) -> None:
+        line = req.line
+        mc_id = self.amap.mc_of(line)
+        travel = (
+            self.config.l1_latency
+            + self.mesh.core_to_bank(req.core_id, bank)
+            + self.config.llc_latency
+            + self.mesh.bank_to_mc(bank, mc_id)
+        )
+        delivery = (
+            self.mesh.bank_to_mc(bank, mc_id)
+            + self.mesh.core_to_bank(req.core_id, bank)
+            + extra_lat
+        )
+
+        def at_mc() -> None:
+            self.mcs[mc_id].read(line, filled)
+
+        def filled(_time: int) -> None:
+            bank_cache = self.llc_banks[bank]
+            raced_entry = bank_cache.lookup(line)
+            if self.directory.owner_of(line) is not None or (
+                raced_entry is not None and raced_entry.unpersisted
+            ):
+                # Another core's store completed (or wrote back a dirty
+                # version) while our read was at the memory controller;
+                # reclassify from scratch so ownership and conflict
+                # checks see the new state.
+                self.stats.domain("llc").bump("fill_races")
+                self._try_access(req)
+                return
+            if raced_entry is None:
+                if not self._make_room_llc(bank_cache, line, req):
+                    return
+                llc_entry = bank_cache.insert(line)
+                if self.track_values:
+                    stored = self.image.values.get(line)
+                    llc_entry.values = dict(stored) if stored else {}
+            else:
+                llc_entry = bank_cache.lookup(line)
+            if not self._fill_l1(req.core_id, line, req, source=llc_entry):
+                return
+            if req.is_store:
+                self.directory.set_owner(line, req.core_id)
+                entry = self.l1s[req.core_id].lookup(line)
+                self._finish_store(req, entry, delivery)
+            else:
+                self.directory.add_sharer(line, req.core_id)
+                self._complete(req, delivery)
+
+        self.engine.schedule(travel, at_mc)
+
+    # ------------------------------------------------------------------
+    # Persistence primitives
+    # ------------------------------------------------------------------
+    def line_in_l1(self, core_id: int, line: int, epoch: Epoch) -> bool:
+        entry = self.l1s[core_id].lookup(line)
+        return entry is not None and entry.dirty and entry.epoch is epoch
+
+    def locate_epoch_line(
+        self, epoch: Epoch, line: int
+    ) -> Tuple[Optional[CacheEntry], Optional[int]]:
+        """Find the cache entry holding ``epoch``'s version of ``line``.
+
+        Returns ``(entry, l1_core)`` -- ``l1_core`` is None for
+        LLC-resident lines -- or ``(None, None)`` if the version already
+        left the caches (its NVRAM write is in flight).
+        """
+        entry = self.l1s[epoch.core_id].lookup(line)
+        if entry is not None and entry.dirty and entry.epoch is epoch:
+            return entry, epoch.core_id
+        entry = self.llc_banks[self.amap.bank_of(line)].lookup(line)
+        if entry is not None and entry.dirty and entry.epoch is epoch:
+            return entry, None
+        return None, None
+
+    def persist_line(
+        self,
+        entry: CacheEntry,
+        epoch: Optional[Epoch],
+        kind: str,
+        extra_delay: int = 0,
+        on_ack: Optional[Callable[[int], None]] = None,
+        invalidate: bool = False,
+        from_l1_core: Optional[int] = None,
+        evictor_core: int = -1,
+    ) -> None:
+        """Issue a durable write of ``entry``'s current value.
+
+        The cache-side transition happens now (the version leaves the
+        dirty domain); the NVRAM image commit and ``on_ack`` fire when the
+        memory controller acknowledges the write.
+        """
+        line = entry.line
+        values = dict(entry.values) if entry.values is not None else None
+        if epoch is not None:
+            epoch.lines.discard(line)
+            epoch.inflight_writes += 1
+            core_id, seq = epoch.core_id, epoch.seq
+        else:
+            core_id, seq = evictor_core, -1
+
+        if kind == "eviction":
+            # LLC replacement: only the LLC copy disappears.
+            self.llc_banks[self.amap.bank_of(line)].remove(line)
+        elif invalidate:
+            # clflush semantics: every cached copy is invalidated.
+            if from_l1_core is not None:
+                self.l1s[from_l1_core].remove(line)
+            self.llc_banks[self.amap.bank_of(line)].remove(line)
+            dir_entry = self.directory.peek(line)
+            if dir_entry is not None:
+                for sharer in list(dir_entry.sharers):
+                    self.l1s[sharer].remove(line)
+                if dir_entry.owner is not None:
+                    self.l1s[dir_entry.owner].remove(line)
+            self.directory.drop_line(line)
+        else:
+            # clwb semantics: the copy stays cached, now clean.
+            entry.dirty = False
+            entry.epoch = None
+            if from_l1_core is not None:
+                self.directory.clear_owner(line)
+                llc_entry = self.llc_banks[self.amap.bank_of(line)].lookup(line)
+                if llc_entry is not None and values is not None:
+                    llc_entry.values = dict(values)
+
+        mc = self.mcs[self.amap.mc_of(line)]
+
+        def ack(time: int) -> None:
+            if epoch is not None:
+                epoch.inflight_writes -= 1
+                self.maybe_persist(epoch)
+            if on_ack is not None:
+                on_ack(time)
+
+        def issue() -> None:
+            mc.write(line, core_id, seq, kind, values, callback=ack)
+
+        if extra_delay:
+            self.engine.schedule(extra_delay, issue)
+        else:
+            issue()
+
+    def maybe_persist(self, epoch: Epoch) -> None:
+        """Declare ``epoch`` persisted if every condition now holds."""
+        if epoch.persisted or epoch.flush_active:
+            return
+        if not epoch.complete or not epoch.empty:
+            return
+        mgr = self.managers[epoch.core_id]
+        if not mgr.deps_persisted(epoch):
+            return
+        mgr.mark_persisted(epoch)
+        if self.tracer:
+            self.tracer.record(
+                self.engine.now, "epoch_persist", epoch.core_id,
+                epoch=str(epoch), conflict=epoch.conflict_flush,
+            )
+        self.arbiters[epoch.core_id].pump()
+
+    def _proactive_flush(self, epoch: Epoch) -> None:
+        """PF (section 3.2): flush an epoch as soon as it completes."""
+        self.arbiters[epoch.core_id].request_flush_upto(
+            epoch, online=False, mark_conflict=False
+        )
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def core_finished(self, core_id: int) -> None:
+        self._active_cores -= 1
+        if self._active_cores == 0:
+            self._finish_time = self.engine.now
+
+    def run(
+        self,
+        programs: List,
+        max_cycles: Optional[int] = None,
+        drain: bool = True,
+    ) -> RunResult:
+        """Execute one program per core and return the results.
+
+        ``programs`` is a list of per-thread op iterables, at most one per
+        core.  With ``drain`` (the default) all remaining epochs are
+        flushed after the last core finishes, yielding the durable
+        completion time alongside the visible one.
+        """
+        if len(programs) > self.config.num_cores:
+            raise ValueError(
+                f"{len(programs)} programs for {self.config.num_cores} cores"
+            )
+        if self.cores:
+            raise RuntimeError("machine already ran; build a fresh Multicore")
+        self.cores = [
+            Core(core_id, self, ops) for core_id, ops in enumerate(programs)
+        ]
+        self._active_cores = len(self.cores)
+        for core in self.cores:
+            core.start()
+        self.engine.run(until=max_cycles)
+
+        finished = self._finish_time is not None
+        cycles_visible = self._finish_time
+        cycles_durable: Optional[int] = None
+        if finished and drain:
+            for arbiter in self.arbiters:
+                arbiter.drain_all()
+            self.engine.run(until=max_cycles)
+            # A trailing ongoing epoch that never received a store (it
+            # exists only because a load recorded an IDT dependence) has
+            # nothing to persist and does not count against durability.
+            drained = all(
+                epoch.ongoing and epoch.num_stores == 0
+                and epoch.pending_stores == 0 and epoch.empty
+                for mgr in self.managers
+                for epoch in mgr.window
+            )
+            if drained:
+                cycles_durable = self.engine.now
+        return RunResult(
+            cycles_visible=cycles_visible,
+            cycles_durable=cycles_durable,
+            stats=self.stats,
+            config=self.config,
+            finished=finished,
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant auditing (used by the test suite)
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Check cross-structure invariants; raises AssertionError."""
+        for mgr in self.managers:
+            mgr.audit()
+            for epoch in mgr.window:
+                for line in epoch.lines:
+                    entry, _ = self.locate_epoch_line(epoch, line)
+                    if entry is None:
+                        raise AssertionError(
+                            f"{epoch} tracks 0x{line:x} but no cache holds it"
+                        )
+                if epoch.inflight_writes < 0 or epoch.pending_stores < 0:
+                    raise AssertionError(f"negative accounting on {epoch}")
+        for core_id, l1 in enumerate(self.l1s):
+            for entry in l1.dirty_entries():
+                if entry.epoch is not None:
+                    if entry.epoch.core_id != core_id:
+                        raise AssertionError(
+                            f"L1.{core_id} holds foreign-epoch dirty line "
+                            f"0x{entry.line:x}"
+                        )
+                    if entry.line not in entry.epoch.lines:
+                        raise AssertionError(
+                            f"dirty 0x{entry.line:x} missing from "
+                            f"{entry.epoch}"
+                        )
+        for bank in self.llc_banks:
+            for entry in bank.dirty_entries():
+                if entry.epoch is not None and not entry.epoch.persisted:
+                    if entry.line not in entry.epoch.lines:
+                        raise AssertionError(
+                            f"LLC dirty 0x{entry.line:x} missing from "
+                            f"{entry.epoch}"
+                        )

@@ -1,0 +1,16 @@
+"""Synthetic stand-ins for the PARSEC / SPLASH-2 / STAMP workloads.
+
+The paper evaluates BSP on canneal, dedup, freqmine (PARSEC), barnes,
+cholesky, radix (SPLASH-2) and intruder, ssca2, vacation (STAMP).  We
+cannot run the real binaries inside a Python trace-driven simulator, so
+each benchmark is replaced by a trace generator calibrated to the
+traffic properties that drive the BSP results: store intensity, working
+set size, access locality, and -- critically, since 86% of BSP conflicts
+are inter-thread -- the amount and granularity of inter-thread sharing.
+See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.workloads.apps.generator import AppWorkload, app_programs
+from repro.workloads.apps.profiles import APP_PROFILES, AppProfile
+
+__all__ = ["APP_PROFILES", "AppProfile", "AppWorkload", "app_programs"]

@@ -1,0 +1,129 @@
+"""Trace generation from an :class:`AppProfile`.
+
+Each thread interleaves compute with memory operations drawn from two
+regions:
+
+* a per-thread private region with a hot/cold split (``hot_bias`` of
+  accesses hit the hottest ``hot_fraction`` of lines), and
+* a global shared pool.  To model read-write sharing realistically, a
+  shared *store* publishes the line to a small recently-written window;
+  shared *loads* preferentially consume lines from that window, which is
+  exactly the access pattern that creates inter-thread persist
+  dependencies (a consumer reading a producer's unpersisted epoch).
+
+Under BSP the hardware inserts the epoch boundaries, so the generated
+streams contain no explicit barriers -- the benchmarks run unmodified,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.workloads.apps.profiles import APP_PROFILES, AppProfile
+from repro.workloads.base import Op, compute, load, store
+
+_PRIVATE_BASE = 0x4000_0000
+_PRIVATE_STRIDE = 0x0200_0000
+_SHARED_BASE = 0x2000_0000
+
+
+class _SharedPool:
+    """Shared-region state coordinating the threads of one workload."""
+
+    def __init__(self, lines: int, line_size: int, window: int = 64) -> None:
+        self.lines = lines
+        self.line_size = line_size
+        self.recently_written: Deque[int] = deque(maxlen=window)
+
+    def addr_of(self, index: int) -> int:
+        return _SHARED_BASE + index * self.line_size
+
+
+class AppWorkload:
+    """One thread of a synthetic application."""
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        thread_id: int,
+        pool: _SharedPool,
+        seed: int = 0,
+        line_size: int = 64,
+    ) -> None:
+        self.profile = profile
+        self.thread_id = thread_id
+        self.pool = pool
+        self.rng = random.Random((seed << 16) ^ (thread_id << 4) ^ 0x5BD1)
+        self.line_size = line_size
+        self._private_base = _PRIVATE_BASE + thread_id * _PRIVATE_STRIDE
+        self._hot_lines = profile.hot_lines
+
+    # ------------------------------------------------------------------
+    def _private_addr(self) -> int:
+        p = self.profile
+        if self.rng.random() < p.hot_bias:
+            index = self.rng.randrange(self._hot_lines)
+        else:
+            index = self.rng.randrange(p.working_set_lines)
+        return self._private_base + index * self.line_size
+
+    def _shared_access(self, is_store: bool) -> int:
+        pool = self.pool
+        if is_store:
+            index = self.rng.randrange(pool.lines)
+            pool.recently_written.append(index)
+            return pool.addr_of(index)
+        # Consumers read recently produced lines half of the time.
+        if pool.recently_written and self.rng.random() < 0.5:
+            index = self.rng.choice(pool.recently_written)
+        else:
+            index = self.rng.randrange(pool.lines)
+        return pool.addr_of(index)
+
+    # ------------------------------------------------------------------
+    def ops(self, num_mem_ops: int) -> Iterator[Op]:
+        p = self.profile
+        rng = self.rng
+        for _ in range(num_mem_ops):
+            if p.compute_per_op:
+                # Geometric-ish spacing around the mean, cheaply.
+                yield compute(rng.randrange(2 * p.compute_per_op + 1))
+            shared = rng.random() < p.shared_fraction
+            if shared:
+                is_store = rng.random() < p.shared_write_fraction
+                addr = self._shared_access(is_store)
+            else:
+                is_store = rng.random() < p.store_fraction
+                addr = self._private_addr()
+            if is_store:
+                yield store(addr, 8, value=("w", self.thread_id))
+            else:
+                yield load(addr, 8)
+
+
+def app_programs(
+    name: str,
+    num_threads: int,
+    mem_ops_per_thread: int,
+    seed: int = 0,
+    line_size: int = 64,
+    profile: Optional[AppProfile] = None,
+) -> List[Iterator[Op]]:
+    """Build one op stream per thread for the named benchmark."""
+    if profile is None:
+        profile = APP_PROFILES.get(name)
+        if profile is None:
+            raise KeyError(
+                f"unknown app workload {name!r}; "
+                f"choose from {sorted(APP_PROFILES)}"
+            )
+    pool = _SharedPool(profile.shared_lines, line_size)
+    return [
+        AppWorkload(profile, tid, pool, seed=seed, line_size=line_size).ops(
+            mem_ops_per_thread
+        )
+        for tid in range(num_threads)
+    ]

@@ -1,0 +1,42 @@
+"""The persistent-data-structure microbenchmarks of Table 2.
+
+Each benchmark implements a real data structure over a simulated
+persistent heap -- traversals follow actual pointers, so the emitted
+address streams have the locality and dependence structure of the
+NVHeaps-style benchmarks the paper uses.  All five use 512-byte entries
+(table entries, tree nodes, queue entries, graph edges, array elements)
+and perform a search/insert/delete transaction mix, with persist
+barriers placed as in Figure 10.
+
+=========  =====================================================
+hash       insert/delete entries in a chained hash table
+queue      insert/delete entries in a copy-while-locked queue
+rbtree     insert/delete nodes in a red-black tree
+sdg        insert/delete edges in a scalable directed graph
+sps        random swaps between entries in an array
+=========  =====================================================
+"""
+
+from repro.workloads.micro.common import (
+    ENTRY_SIZE,
+    MicroBenchmark,
+    MICROBENCHMARKS,
+    make_benchmark,
+)
+from repro.workloads.micro.hashtable import HashTableWorkload
+from repro.workloads.micro.queue import QueueWorkload
+from repro.workloads.micro.rbtree import RBTreeWorkload
+from repro.workloads.micro.sdg import SDGWorkload
+from repro.workloads.micro.sps import SPSWorkload
+
+__all__ = [
+    "ENTRY_SIZE",
+    "HashTableWorkload",
+    "MICROBENCHMARKS",
+    "MicroBenchmark",
+    "QueueWorkload",
+    "RBTreeWorkload",
+    "SDGWorkload",
+    "SPSWorkload",
+    "make_benchmark",
+]

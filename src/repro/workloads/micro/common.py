@@ -1,0 +1,147 @@
+"""Shared infrastructure for the Table 2 microbenchmarks.
+
+A microbenchmark instance drives one thread.  Threads operate on
+*private* structure instances (the NVHeaps benchmarks shard their data
+per thread), which is why the paper finds these workloads dominated by
+intra-thread conflicts; a light-weight shared-statistics update every
+``shared_update_every`` transactions provides the small inter-thread
+component (the source of LB+IDT's ~3% on Figure 11).
+
+Benchmarks are generators: each transaction yields the loads/stores that
+a real implementation would execute, with persist barriers placed as in
+Figure 10, followed by a TXN_MARK and ``think_cycles`` of compute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.workloads.base import Op, barrier, compute, load, store, txn_mark
+from repro.workloads.heap import PersistentHeap
+
+# The paper: "The size of data entry (table entries, tree nodes, queue
+# entries etc.) for each micro-benchmark is 512 bytes."
+ENTRY_SIZE = 512
+
+# Address-space layout: a private heap per thread plus one shared
+# statistics region all threads update occasionally.
+_THREAD_HEAP_BASE = 0x1000_0000
+_THREAD_HEAP_STRIDE = 0x0100_0000
+_SHARED_REGION_BASE = 0x0800_0000
+
+
+class MicroBenchmark:
+    """Base class: heap management, op helpers, the transaction loop."""
+
+    name = "micro"
+
+    def __init__(
+        self,
+        thread_id: int = 0,
+        seed: int = 0,
+        line_size: int = 64,
+        think_cycles: int = 100,
+        shared_update_every: int = 4,
+    ) -> None:
+        self.thread_id = thread_id
+        self.rng = random.Random((seed << 8) ^ thread_id)
+        self.line_size = line_size
+        self.think_cycles = think_cycles
+        self.shared_update_every = shared_update_every
+        base = _THREAD_HEAP_BASE + thread_id * _THREAD_HEAP_STRIDE
+        self.heap = PersistentHeap(base, _THREAD_HEAP_STRIDE, line_size)
+        self._txn_counter = 0
+
+    # ------------------------------------------------------------------
+    # Op emission helpers
+    # ------------------------------------------------------------------
+    def store_obj(self, addr: int, size: int,
+                  value: Optional[object] = None) -> Iterator[Op]:
+        """Stores covering ``size`` bytes starting at ``addr``."""
+        end = addr + size
+        cursor = addr
+        while cursor < end:
+            line_end = (cursor & ~(self.line_size - 1)) + self.line_size
+            chunk = min(end, line_end) - cursor
+            yield store(cursor, chunk, value)
+            cursor += chunk
+
+    def load_obj(self, addr: int, size: int) -> Iterator[Op]:
+        end = addr + size
+        cursor = addr
+        while cursor < end:
+            line_end = (cursor & ~(self.line_size - 1)) + self.line_size
+            chunk = min(end, line_end) - cursor
+            yield load(cursor, chunk)
+            cursor += chunk
+
+    def store_field(self, addr: int,
+                    value: Optional[object] = None) -> Op:
+        """A single 8-byte field store (pointer / counter update)."""
+        return store(addr, 8, value)
+
+    def load_field(self, addr: int) -> Op:
+        return load(addr, 8)
+
+    # ------------------------------------------------------------------
+    # Transaction plumbing
+    # ------------------------------------------------------------------
+    def shared_counter_line(self) -> int:
+        """A statistics line shared by all threads of this benchmark."""
+        slot = self.rng.randrange(4)
+        return _SHARED_REGION_BASE + slot * self.line_size
+
+    def transaction(self) -> Iterator[Op]:
+        """One search/insert/delete transaction.  Subclasses override."""
+        raise NotImplementedError
+
+    def setup(self) -> Iterator[Op]:
+        """Initial population of the structure (part of the run)."""
+        return iter(())
+
+    def ops(self, transactions: int) -> Iterator[Op]:
+        """The full op stream for this thread."""
+        yield from self.setup()
+        yield barrier()
+        for _ in range(transactions):
+            yield from self.transaction()
+            self._txn_counter += 1
+            if (
+                self.shared_update_every
+                and self._txn_counter % self.shared_update_every == 0
+            ):
+                # Shared statistics update: read-modify-write of a line
+                # other threads also touch -- the inter-thread component.
+                line = self.shared_counter_line()
+                yield self.load_field(line)
+                yield self.store_field(
+                    line, ("stat", self.thread_id, self._txn_counter)
+                )
+                yield barrier()
+            yield txn_mark()
+            if self.think_cycles:
+                yield compute(self.think_cycles)
+
+
+def make_benchmark(name: str, thread_id: int = 0, seed: int = 0,
+                   **kwargs) -> MicroBenchmark:
+    """Factory over the Table 2 benchmark names."""
+    cls = MICROBENCHMARKS.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown microbenchmark {name!r}; "
+            f"choose from {sorted(MICROBENCHMARKS)}"
+        )
+    return cls(thread_id=thread_id, seed=seed, **kwargs)
+
+
+# Populated at the bottom of this package's modules to avoid import
+# cycles; see micro/__init__.py for the canonical list.
+MICROBENCHMARKS: Dict[str, Callable[..., MicroBenchmark]] = {}
+
+
+def register(cls):
+    """Class decorator adding a benchmark to the registry."""
+    MICROBENCHMARKS[cls.name] = cls
+    return cls

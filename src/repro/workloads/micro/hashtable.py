@@ -1,0 +1,126 @@
+"""Chained hash table microbenchmark (NVHeaps-style).
+
+Layout: a bucket array of 8-byte head pointers (8 per cache line) plus
+512-byte chained entries ``[key | next | payload...]`` allocated from
+the persistent heap.
+
+* **insert** -- allocate an entry, write it (8 line stores), persist
+  barrier, then link it at the bucket head (read head, write entry.next,
+  write head), persist barrier.  The entry must be durable before it is
+  reachable -- the same discipline as Figure 10's queue.
+* **delete** -- walk the chain (key loads), unlink by rewriting the
+  predecessor's next pointer (or the bucket head), persist barrier,
+  free the entry.
+* **search** -- walk the chain, load the payload on a hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+
+@register
+class HashTableWorkload(MicroBenchmark):
+    name = "hash"
+
+    def __init__(self, *args, num_buckets: int = 64,
+                 initial_entries: int = 128, key_space: int = 4096,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.num_buckets = num_buckets
+        self.key_space = key_space
+        self.initial_entries = initial_entries
+        # Bucket array: 8-byte pointers, 8 per line.
+        self._bucket_array = self.heap.alloc(num_buckets * 8)
+        # Shadow state: bucket index -> list of (key, entry_addr), front
+        # of the list is the chain head.
+        self._buckets: Dict[int, List[tuple]] = {
+            b: [] for b in range(num_buckets)
+        }
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_of(self, key: int) -> int:
+        return (key * 2654435761) % self.num_buckets
+
+    def _bucket_ptr_addr(self, bucket: int) -> int:
+        return self._bucket_array + bucket * 8
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def lookup_shadow(self, key: int) -> bool:
+        """Shadow-state membership test (for test oracles)."""
+        bucket = self._bucket_of(key)
+        return any(k == key for k, _ in self._buckets[bucket])
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: int) -> Iterator[Op]:
+        bucket = self._bucket_of(key)
+        head_addr = self._bucket_ptr_addr(bucket)
+        entry = self.heap.alloc(ENTRY_SIZE)
+        # Write the new entry: key+next in the first line, payload after.
+        yield from self.store_obj(entry, ENTRY_SIZE, ("entry", key))
+        yield barrier()
+        # Link: read current head, point entry.next at it, swing the head.
+        yield self.load_field(head_addr)
+        yield self.store_field(entry, ("next-of", key))
+        yield self.store_field(head_addr, ("head", key))
+        yield barrier()
+        self._buckets[bucket].insert(0, (key, entry))
+        self._size += 1
+
+    def _delete(self, key: int) -> Iterator[Op]:
+        bucket = self._bucket_of(key)
+        chain = self._buckets[bucket]
+        head_addr = self._bucket_ptr_addr(bucket)
+        yield self.load_field(head_addr)
+        for i, (k, addr) in enumerate(chain):
+            yield self.load_field(addr)  # key | next line
+            if k == key:
+                if i == 0:
+                    yield self.store_field(head_addr, ("head-unlink", key))
+                else:
+                    prev_addr = chain[i - 1][1]
+                    yield self.store_field(prev_addr, ("next-unlink", key))
+                yield barrier()
+                chain.pop(i)
+                self.heap.free(addr, ENTRY_SIZE)
+                self._size -= 1
+                return
+
+    def _search(self, key: int) -> Iterator[Op]:
+        bucket = self._bucket_of(key)
+        yield self.load_field(self._bucket_ptr_addr(bucket))
+        for k, addr in self._buckets[bucket]:
+            yield self.load_field(addr)
+            if k == key:
+                yield from self.load_obj(addr, ENTRY_SIZE)
+                return
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for _ in range(self.initial_entries):
+            key = self.rng.randrange(self.key_space)
+            yield from self._insert(key)
+
+    def transaction(self) -> Iterator[Op]:
+        roll = self.rng.random()
+        key = self.rng.randrange(self.key_space)
+        if roll < 0.4:
+            yield from self._insert(key)
+        elif roll < 0.8 and self._size:
+            # Delete a key that exists to keep the table populated.
+            bucket = self.rng.randrange(self.num_buckets)
+            for probe in range(self.num_buckets):
+                chain = self._buckets[(bucket + probe) % self.num_buckets]
+                if chain:
+                    victim = chain[self.rng.randrange(len(chain))][0]
+                    yield from self._delete(victim)
+                    return
+        else:
+            yield from self._search(key)

@@ -1,0 +1,95 @@
+"""Copy-while-locked queue microbenchmark (Figure 10 of the paper).
+
+A circular buffer of 512-byte entries plus a header line holding the
+head and tail cursors.  Insert follows the paper's pseudo-code exactly::
+
+    QUEUE_INSERT(Head, Entry):
+        1. Persist Barrier
+        2. Copy(data[Head], Entry)      <- epoch A
+        3. Persist Barrier
+        4. Head = Head + EntryLen       <- epoch B
+        5. Persist Barrier
+
+If the system crashes after epoch A persists but before epoch B, the
+new entry is simply ignored on recovery; after epoch B the insert is
+complete.  The recovery checker in :mod:`repro.recovery` verifies
+exactly this property.  Delete advances the tail cursor symmetrically.
+
+The head-cursor line is rewritten by *every* insert in a fresh epoch --
+the canonical intra-thread conflict generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+
+@register
+class QueueWorkload(MicroBenchmark):
+    name = "queue"
+
+    def __init__(self, *args, capacity: int = 256, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.capacity = capacity
+        # Header line: head cursor at +0, tail cursor at +8.
+        self._header = self.heap.alloc(self.line_size)
+        self._data = self.heap.alloc(capacity * ENTRY_SIZE)
+        self._head = 0  # next insert slot
+        self._tail = 0  # next delete slot
+        self._inserted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def head_addr(self) -> int:
+        return self._header
+
+    @property
+    def tail_addr(self) -> int:
+        return self._header + 8
+
+    def slot_addr(self, slot: int) -> int:
+        return self._data + (slot % self.capacity) * ENTRY_SIZE
+
+    @property
+    def occupancy(self) -> int:
+        return self._head - self._tail
+
+    # ------------------------------------------------------------------
+    def _insert(self) -> Iterator[Op]:
+        seq = self._inserted
+        yield barrier()                                   # step 1
+        addr = self.slot_addr(self._head)
+        yield from self.store_obj(addr, ENTRY_SIZE,       # step 2
+                                  ("entry", self.thread_id, seq))
+        yield barrier()                                   # step 3
+        yield self.store_field(self.head_addr,            # step 4
+                               ("head", self.thread_id, seq + 1))
+        yield barrier()                                   # step 5
+        self._head += 1
+        self._inserted += 1
+
+    def _delete(self) -> Iterator[Op]:
+        addr = self.slot_addr(self._tail)
+        yield self.load_field(self.tail_addr)
+        yield from self.load_obj(addr, ENTRY_SIZE)
+        yield self.store_field(self.tail_addr,
+                               ("tail", self.thread_id, self._tail + 1))
+        yield barrier()
+        self._tail += 1
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for _ in range(self.capacity // 4):
+            yield from self._insert()
+
+    def transaction(self) -> Iterator[Op]:
+        # Keep the queue roughly half full.
+        if self.occupancy >= self.capacity - 1 or (
+            self.occupancy > 0 and self.rng.random() < 0.5
+        ):
+            yield from self._delete()
+        else:
+            yield from self._insert()

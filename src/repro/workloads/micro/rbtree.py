@@ -1,0 +1,396 @@
+"""Red-black tree microbenchmark.
+
+A textbook (CLRS, sentinel-based) red-black tree: traversals emit a load
+of each visited node's header line (key + color + parent/left/right
+pointers share the first line of the 512-byte node), insert and delete
+emit stores for every pointer or color the algorithm actually mutates,
+and rotations touch the nodes they re-link.  The shadow tree lives in
+Python, so the address stream is exactly what a pointer-chasing NVM tree
+produces -- and the shadow invariants (BST order, no red-red edge, equal
+black heights) are checkable by the test suite after any operation mix.
+
+Persist discipline (NVHeaps-style): a new node is written and persisted
+*before* it is linked into the tree (epoch A: node body; epoch B: link +
+rebalance writes), so a crash between the two leaves an unreachable but
+harmless node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+RED = "red"
+BLACK = "black"
+
+
+class _Node:
+    __slots__ = ("key", "color", "parent", "left", "right", "addr")
+
+    def __init__(self, key: int, addr: int, color: str = RED) -> None:
+        self.key = key
+        self.color = color
+        self.parent: "_Node" = self
+        self.left: "_Node" = self
+        self.right: "_Node" = self
+        self.addr = addr
+
+
+@register
+class RBTreeWorkload(MicroBenchmark):
+    name = "rbtree"
+
+    def __init__(self, *args, initial_nodes: int = 128,
+                 key_space: int = 1 << 20, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.key_space = key_space
+        self.initial_nodes = initial_nodes
+        # Root pointer and the NIL sentinel share a header line (the
+        # sentinel is a real object in NVM tree implementations).
+        header = self.heap.alloc(self.line_size)
+        self._root_ptr = header
+        self._nil = _Node(0, header, color=BLACK)
+        self._root: _Node = self._nil
+        self._size = 0
+        self._found: _Node = self._nil
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def _touch(self, node: _Node) -> Iterator[Op]:
+        yield self.load_field(node.addr)
+
+    def _write_header(self, node: _Node, why: str) -> Iterator[Op]:
+        """Store to a node's header line (pointer/color mutation)."""
+        yield self.store_field(node.addr, (why, node.key))
+
+    def _set_root(self, node: _Node) -> Iterator[Op]:
+        self._root = node
+        yield self.store_field(self._root_ptr, ("root", node.key))
+
+    # ------------------------------------------------------------------
+    # Rotations
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _Node) -> Iterator[Op]:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+            yield from self._write_header(y.left, "rot-parent")
+        y.parent = x.parent
+        if x.parent is self._nil:
+            yield from self._set_root(y)
+        elif x is x.parent.left:
+            x.parent.left = y
+            yield from self._write_header(x.parent, "rot-child")
+        else:
+            x.parent.right = y
+            yield from self._write_header(x.parent, "rot-child")
+        y.left = x
+        x.parent = y
+        yield from self._write_header(y, "rot-y")
+        yield from self._write_header(x, "rot-x")
+
+    def _rotate_right(self, x: _Node) -> Iterator[Op]:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+            yield from self._write_header(y.right, "rot-parent")
+        y.parent = x.parent
+        if x.parent is self._nil:
+            yield from self._set_root(y)
+        elif x is x.parent.right:
+            x.parent.right = y
+            yield from self._write_header(x.parent, "rot-child")
+        else:
+            x.parent.left = y
+            yield from self._write_header(x.parent, "rot-child")
+        y.right = x
+        x.parent = y
+        yield from self._write_header(y, "rot-y")
+        yield from self._write_header(x, "rot-x")
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def _insert(self, key: int) -> Iterator[Op]:
+        node = _Node(key, self.heap.alloc(ENTRY_SIZE))
+        node.left = node.right = node.parent = self._nil
+        # Epoch A: the node body becomes durable before it is reachable.
+        yield from self.store_obj(node.addr, ENTRY_SIZE, ("node", key))
+        yield barrier()
+        # Epoch B: BST descent (loads), link, fixup writes.
+        parent = self._nil
+        cursor = self._root
+        yield self.load_field(self._root_ptr)
+        while cursor is not self._nil:
+            yield from self._touch(cursor)
+            parent = cursor
+            cursor = cursor.left if key < cursor.key else cursor.right
+        node.parent = parent
+        if parent is self._nil:
+            yield from self._set_root(node)
+        else:
+            if key < parent.key:
+                parent.left = node
+            else:
+                parent.right = node
+            yield from self._write_header(parent, "link")
+        yield from self._insert_fixup(node)
+        yield barrier()
+        self._size += 1
+
+    def _insert_fixup(self, z: _Node) -> Iterator[Op]:
+        while z.parent.color is RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                yield from self._touch(uncle)
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    yield from self._write_header(z.parent, "recolor")
+                    yield from self._write_header(uncle, "recolor")
+                    yield from self._write_header(grand, "recolor")
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        yield from self._rotate_left(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    yield from self._write_header(z.parent, "recolor")
+                    yield from self._write_header(z.parent.parent, "recolor")
+                    yield from self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                yield from self._touch(uncle)
+                if uncle.color is RED:
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    yield from self._write_header(z.parent, "recolor")
+                    yield from self._write_header(uncle, "recolor")
+                    yield from self._write_header(grand, "recolor")
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        yield from self._rotate_right(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    yield from self._write_header(z.parent, "recolor")
+                    yield from self._write_header(z.parent.parent, "recolor")
+                    yield from self._rotate_left(z.parent.parent)
+        if self._root.color is not BLACK:
+            self._root.color = BLACK
+            yield from self._write_header(self._root, "root-black")
+
+    # ------------------------------------------------------------------
+    # Delete (full CLRS delete + fixup)
+    # ------------------------------------------------------------------
+    def _find(self, key: int) -> Iterator[Op]:
+        cursor = self._root
+        yield self.load_field(self._root_ptr)
+        while cursor is not self._nil:
+            yield from self._touch(cursor)
+            if key == cursor.key:
+                self._found = cursor
+                return
+            cursor = cursor.left if key < cursor.key else cursor.right
+        self._found = self._nil
+
+    def _minimum(self, node: _Node) -> Iterator[Op]:
+        while node.left is not self._nil:
+            yield from self._touch(node.left)
+            node = node.left
+        self._found = node
+
+    def _transplant(self, u: _Node, v: _Node) -> Iterator[Op]:
+        if u.parent is self._nil:
+            yield from self._set_root(v)
+        elif u is u.parent.left:
+            u.parent.left = v
+            yield from self._write_header(u.parent, "transplant")
+        else:
+            u.parent.right = v
+            yield from self._write_header(u.parent, "transplant")
+        v.parent = u.parent
+        if v is not self._nil:
+            yield from self._write_header(v, "transplant-parent")
+
+    def _delete(self, key: int) -> Iterator[Op]:
+        yield from self._find(key)
+        z = self._found
+        if z is self._nil:
+            return
+        y = z
+        y_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            yield from self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            yield from self._transplant(z, z.left)
+        else:
+            yield from self._minimum(z.right)
+            y = self._found
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                yield from self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+                yield from self._write_header(y, "del-relink")
+                yield from self._write_header(y.right, "del-relink")
+            yield from self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+            yield from self._write_header(y, "del-recolor")
+            yield from self._write_header(y.left, "del-relink")
+        if y_color is BLACK:
+            yield from self._delete_fixup(x)
+        yield barrier()
+        self.heap.free(z.addr, ENTRY_SIZE)
+        self._size -= 1
+
+    def _delete_fixup(self, x: _Node) -> Iterator[Op]:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                yield from self._touch(w)
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    yield from self._write_header(w, "fix-recolor")
+                    yield from self._write_header(x.parent, "fix-recolor")
+                    yield from self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    w.color = RED
+                    yield from self._write_header(w, "fix-recolor")
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        yield from self._write_header(w.left, "fix-recolor")
+                        yield from self._write_header(w, "fix-recolor")
+                        yield from self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    yield from self._write_header(w, "fix-recolor")
+                    yield from self._write_header(x.parent, "fix-recolor")
+                    yield from self._write_header(w.right, "fix-recolor")
+                    yield from self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                yield from self._touch(w)
+                if w.color is RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    yield from self._write_header(w, "fix-recolor")
+                    yield from self._write_header(x.parent, "fix-recolor")
+                    yield from self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    w.color = RED
+                    yield from self._write_header(w, "fix-recolor")
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        yield from self._write_header(w.right, "fix-recolor")
+                        yield from self._write_header(w, "fix-recolor")
+                        yield from self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    yield from self._write_header(w, "fix-recolor")
+                    yield from self._write_header(x.parent, "fix-recolor")
+                    yield from self._write_header(w.left, "fix-recolor")
+                    yield from self._rotate_right(x.parent)
+                    x = self._root
+        if x.color is not BLACK:
+            x.color = BLACK
+            yield from self._write_header(x, "fix-black")
+
+    # ------------------------------------------------------------------
+    def _search(self, key: int) -> Iterator[Op]:
+        yield from self._find(key)
+        if self._found is not self._nil:
+            yield from self.load_obj(self._found.addr, ENTRY_SIZE)
+
+    def _random_present_key(self) -> Optional[int]:
+        node = self._root
+        if node is self._nil:
+            return None
+        while True:
+            branch = self.rng.random()
+            if branch < 0.4 and node.left is not self._nil:
+                node = node.left
+            elif branch < 0.8 and node.right is not self._nil:
+                node = node.right
+            else:
+                return node.key
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for _ in range(self.initial_nodes):
+            yield from self._insert(self.rng.randrange(self.key_space))
+
+    def transaction(self) -> Iterator[Op]:
+        roll = self.rng.random()
+        if roll < 0.4 or self._size < 8:
+            yield from self._insert(self.rng.randrange(self.key_space))
+        elif roll < 0.8:
+            key = self._random_present_key()
+            if key is not None:
+                yield from self._delete(key)
+        else:
+            yield from self._search(self.rng.randrange(self.key_space))
+
+    # -- oracle helpers for tests ---------------------------------------
+    def contains_shadow(self, key: int) -> bool:
+        node = self._root
+        while node is not self._nil:
+            if key == node.key:
+                return True
+            node = node.left if key < node.key else node.right
+        return False
+
+    def validate_shadow(self) -> int:
+        """Check BST + red-black invariants; returns black height."""
+        nil = self._nil
+
+        def check(node: _Node, lo: float, hi: float) -> int:
+            if node is nil:
+                return 1
+            if not lo <= node.key <= hi:
+                raise AssertionError("BST order violated")
+            if node.color is RED:
+                if node.left.color is RED or node.right.color is RED:
+                    raise AssertionError("red-red violation")
+            left = check(node.left, lo, node.key)
+            right = check(node.right, node.key, hi)
+            if left != right:
+                raise AssertionError("black-height mismatch")
+            return left + (1 if node.color is BLACK else 0)
+
+        if self._root.color is not BLACK:
+            raise AssertionError("root must be black")
+        return check(self._root, float("-inf"), float("inf"))

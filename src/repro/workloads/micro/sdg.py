@@ -1,0 +1,128 @@
+"""Scalable directed graph (SDG) microbenchmark.
+
+An adjacency-list directed graph: a fixed set of vertices, each with a
+header line (edge-list head pointer + degree) and 512-byte edge records
+``[target | next | payload...]`` chained off the vertex, allocated from
+the persistent heap.
+
+* **insert edge** -- write the edge record, persist barrier, link it at
+  the source vertex's list head (read head, write edge.next, write
+  head), persist barrier.
+* **delete edge** -- walk the source's edge list, unlink (rewrite the
+  predecessor edge's next pointer or the vertex head), persist barrier,
+  free.
+* **search** -- walk an edge list testing for a target.
+
+Vertex selection is skewed (a few hub vertices absorb most updates),
+which keeps the per-vertex header lines hot across epochs -- the
+intra-thread conflict pattern of graph update workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+
+@register
+class SDGWorkload(MicroBenchmark):
+    name = "sdg"
+
+    def __init__(self, *args, num_vertices: int = 64,
+                 initial_edges: int = 128, hub_fraction: float = 0.125,
+                 hub_bias: float = 0.7, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.num_vertices = num_vertices
+        self.initial_edges = initial_edges
+        self._num_hubs = max(1, int(num_vertices * hub_fraction))
+        self._hub_bias = hub_bias
+        # One header line per vertex.
+        self._vertex_base = self.heap.alloc(num_vertices * self.line_size)
+        # Shadow adjacency: vertex -> list of (target, edge_addr).
+        self._adj: Dict[int, List[Tuple[int, int]]] = {
+            v: [] for v in range(num_vertices)
+        }
+        self.num_edges = 0
+
+    # ------------------------------------------------------------------
+    def _vertex_addr(self, v: int) -> int:
+        return self._vertex_base + v * self.line_size
+
+    def _pick_vertex(self) -> int:
+        if self.rng.random() < self._hub_bias:
+            return self.rng.randrange(self._num_hubs)
+        return self.rng.randrange(self.num_vertices)
+
+    def out_degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def has_edge_shadow(self, src: int, dst: int) -> bool:
+        return any(t == dst for t, _ in self._adj[src])
+
+    # ------------------------------------------------------------------
+    def _insert_edge(self, src: int, dst: int) -> Iterator[Op]:
+        edge = self.heap.alloc(ENTRY_SIZE)
+        yield from self.store_obj(edge, ENTRY_SIZE, ("edge", src, dst))
+        yield barrier()
+        head = self._vertex_addr(src)
+        yield self.load_field(head)
+        yield self.store_field(edge, ("edge-next", src, dst))
+        yield self.store_field(head, ("vhead", src, dst))
+        yield barrier()
+        self._adj[src].insert(0, (dst, edge))
+        self.num_edges += 1
+
+    def _delete_edge(self, src: int) -> Iterator[Op]:
+        edges = self._adj[src]
+        if not edges:
+            return
+        head = self._vertex_addr(src)
+        yield self.load_field(head)
+        victim_idx = self.rng.randrange(len(edges))
+        for i, (_dst, addr) in enumerate(edges[: victim_idx + 1]):
+            yield self.load_field(addr)
+        _dst, victim_addr = edges[victim_idx]
+        if victim_idx == 0:
+            yield self.store_field(head, ("vhead-unlink", src))
+        else:
+            prev_addr = edges[victim_idx - 1][1]
+            yield self.store_field(prev_addr, ("edge-unlink", src))
+        yield barrier()
+        edges.pop(victim_idx)
+        self.heap.free(victim_addr, ENTRY_SIZE)
+        self.num_edges -= 1
+
+    def _search(self, src: int, dst: int) -> Iterator[Op]:
+        yield self.load_field(self._vertex_addr(src))
+        for target, addr in self._adj[src]:
+            yield self.load_field(addr)
+            if target == dst:
+                yield from self.load_obj(addr, ENTRY_SIZE)
+                return
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for _ in range(self.initial_edges):
+            yield from self._insert_edge(
+                self._pick_vertex(), self.rng.randrange(self.num_vertices)
+            )
+
+    def transaction(self) -> Iterator[Op]:
+        roll = self.rng.random()
+        if roll < 0.4 or self.num_edges < 8:
+            yield from self._insert_edge(
+                self._pick_vertex(), self.rng.randrange(self.num_vertices)
+            )
+        elif roll < 0.8:
+            # Find a vertex with edges to delete from, hub-biased.
+            for _ in range(8):
+                src = self._pick_vertex()
+                if self._adj[src]:
+                    yield from self._delete_edge(src)
+                    return
+        else:
+            yield from self._search(
+                self._pick_vertex(), self.rng.randrange(self.num_vertices)
+            )

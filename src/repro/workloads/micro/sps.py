@@ -1,0 +1,68 @@
+"""SPS: random swaps between entries in an array.
+
+The classic persistent-memory microbenchmark (used by Pelley et al. and
+NVHeaps): an array of 512-byte entries; each transaction picks two
+random slots and swaps their contents.  The swap must be failure-atomic
+at the pair level, so it is staged through a persistent scratch entry::
+
+    load A, load B                  (read both)
+    scratch = A ; persist barrier   (A's old value is safe)
+    A = B      ; persist barrier    (B's value lands in A)
+    B = scratch; persist barrier    (completes the swap)
+
+Every transaction rewrites the scratch entry -- 8 hot lines reused in a
+fresh epoch each time, a dense intra-thread conflict source -- while the
+array slots give uniformly random write traffic across a larger set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+
+@register
+class SPSWorkload(MicroBenchmark):
+    name = "sps"
+
+    def __init__(self, *args, num_entries: int = 256, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.num_entries = num_entries
+        self._array = self.heap.alloc(num_entries * ENTRY_SIZE)
+        self._scratch = self.heap.alloc(ENTRY_SIZE)
+        # Shadow: slot -> logical value id (initial identity permutation).
+        self.shadow: List[int] = list(range(num_entries))
+        self.swaps = 0
+
+    def slot_addr(self, slot: int) -> int:
+        return self._array + slot * ENTRY_SIZE
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for slot in range(self.num_entries):
+            yield from self.store_obj(
+                self.slot_addr(slot), ENTRY_SIZE, ("init", slot)
+            )
+        yield barrier()
+
+    def transaction(self) -> Iterator[Op]:
+        a = self.rng.randrange(self.num_entries)
+        b = self.rng.randrange(self.num_entries)
+        while b == a:
+            b = self.rng.randrange(self.num_entries)
+        value_a, value_b = self.shadow[a], self.shadow[b]
+        yield from self.load_obj(self.slot_addr(a), ENTRY_SIZE)
+        yield from self.load_obj(self.slot_addr(b), ENTRY_SIZE)
+        yield from self.store_obj(self._scratch, ENTRY_SIZE,
+                                  ("scratch", value_a))
+        yield barrier()
+        yield from self.store_obj(self.slot_addr(a), ENTRY_SIZE,
+                                  ("slot", value_b))
+        yield barrier()
+        yield from self.store_obj(self.slot_addr(b), ENTRY_SIZE,
+                                  ("slot", value_a))
+        yield barrier()
+        self.shadow[a], self.shadow[b] = value_b, value_a
+        self.swaps += 1

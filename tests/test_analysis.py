@@ -1,0 +1,74 @@
+"""Tests for the overhead-analysis helpers."""
+
+from repro.harness.analysis import compare_designs, overhead_breakdown
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+from repro.workloads.micro import make_benchmark
+
+
+def run_pair():
+    def run(model, design=BarrierDesign.LB):
+        config = MachineConfig.tiny(
+            barrier_design=design, persistency=model,
+        )
+        m = Multicore(config)
+        programs = [
+            make_benchmark("queue", thread_id=t, seed=4).ops(25)
+            for t in range(2)
+        ]
+        return m.run(programs)
+
+    return run(PersistencyModel.BEP), run(PersistencyModel.NP)
+
+
+def test_breakdown_reports_positive_slowdown():
+    bep, np_ = run_pair()
+    breakdown = overhead_breakdown(bep, np_)
+    assert breakdown.slowdown > 1.0
+    assert breakdown.writes_data > 0
+    assert breakdown.writes_log == 0          # BEP never logs
+    assert breakdown.conflicts_intra > 0
+    assert 0.0 <= breakdown.stall_share_of_overhead <= 1.0
+    text = breakdown.describe()
+    assert "slowdown over NP" in text and "NVRAM writes" in text
+
+
+def test_breakdown_without_baseline_is_neutral():
+    bep, _ = run_pair()
+    breakdown = overhead_breakdown(bep)
+    assert breakdown.slowdown == 1.0
+
+
+def test_breakdown_totals():
+    bep, np_ = run_pair()
+    breakdown = overhead_breakdown(bep, np_)
+    assert breakdown.writes_total == (
+        breakdown.writes_data + breakdown.writes_log
+        + breakdown.writes_checkpoint + breakdown.writes_eviction
+    )
+
+
+def test_compare_designs_table():
+    def run(design):
+        config = MachineConfig.tiny(
+            barrier_design=design, persistency=PersistencyModel.BEP,
+        )
+        m = Multicore(config)
+        p = Program()
+        for i in range(30):
+            p.store(0x1000 + (i % 8) * 64, 8).barrier()
+        p.txn_mark()
+        return m.run([p])
+
+    results = {
+        "LB": run(BarrierDesign.LB),
+        "LB++": run(BarrierDesign.LB_PP),
+    }
+    table = compare_designs(results, baseline=results["LB"])
+    row = table.as_dict()["durable"]
+    assert row["LB"] == 1.0
+    assert row["LB++"] <= row["LB"] + 0.01
+
+    thpt = compare_designs(results, metric="throughput")
+    assert set(thpt.as_dict()["throughput"]) == {"LB", "LB++"}

@@ -1,0 +1,186 @@
+"""Focused unit tests for the arbiter, undo log, and checkpoint engine,
+driven through a small machine (their behaviour is defined by how they
+coordinate with epochs, so fully isolated tests would re-implement the
+machine)."""
+
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def bep_machine(**overrides):
+    defaults = dict(
+        barrier_design=BarrierDesign.LB,
+        persistency=PersistencyModel.BEP,
+    )
+    defaults.update(overrides)
+    return Multicore(MachineConfig.tiny(**defaults))
+
+
+def bsp_machine(**overrides):
+    defaults = dict(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BSP,
+        bsp_epoch_stores=30,
+    )
+    defaults.update(overrides)
+    return Multicore(MachineConfig.tiny(**defaults))
+
+
+# ----------------------------------------------------------------------
+# Arbiter
+# ----------------------------------------------------------------------
+def test_arbiter_flushes_nothing_without_demand():
+    """Plain LB never flushes spontaneously: no conflicts, no flushes
+    until the end-of-run drain."""
+    m = bep_machine()
+    p = Program()
+    for i in range(5):
+        p.store(0x1000 + i * 64, 8).barrier()
+    result = m.run([p], drain=False)
+    assert result.finished
+    # All epochs still buffered: nothing persisted during the run.
+    assert result.stats.total("epochs_persisted") == 0
+    # Now drain explicitly.
+    for arbiter in m.arbiters:
+        arbiter.drain_all()
+    m.engine.run()
+    assert m.stats.total("epochs_persisted") == 5
+
+
+def test_pf_flushes_epochs_without_demand():
+    m = bep_machine(barrier_design=BarrierDesign.LB_PF)
+    p = Program()
+    for i in range(5):
+        p.store(0x1000 + i * 64, 8).barrier()
+    p.compute(20_000)
+    result = m.run([p], drain=False)
+    assert result.stats.total("epochs_persisted") == 5
+    flushes = sum(
+        result.stats.domain(f"arbiter{c}").get("flushes_offline")
+        for c in range(m.config.num_cores)
+    )
+    assert flushes == 5
+
+
+def test_online_flush_counted_separately():
+    m = bep_machine()
+    p = Program().store(0x1000, 8).barrier().store(0x1000, 8).barrier()
+    result = m.run([p])
+    online = sum(
+        result.stats.domain(f"arbiter{c}").get("flushes_online")
+        for c in range(m.config.num_cores)
+    )
+    assert online >= 1
+
+
+def test_flush_order_follows_window_order():
+    """Requesting a flush up to epoch N forces epochs 0..N in order."""
+    m = bep_machine()
+    p = Program()
+    for i in range(4):
+        p.store(0x1000 + i * 64, 8).barrier()
+    # Conflict with the *last* epoch's line: all four must flush.
+    p.store(0x1000 + 3 * 64, 8).barrier()
+    m2 = Multicore(m.config, track_persist_order=True)
+    m2.run([p])
+    seqs = [r.epoch_seq for r in m2.image.history if r.kind == "data"]
+    assert seqs == sorted(seqs)
+
+
+# ----------------------------------------------------------------------
+# Undo log
+# ----------------------------------------------------------------------
+def test_one_log_entry_per_line_per_epoch():
+    m = bsp_machine()
+    p = Program()
+    for _ in range(10):                 # ten stores, same line, one epoch
+        p.store(0x1000, 8)
+    result = m.run([p])
+    assert result.stats.domain("nvram").get("writes_log") == 1
+
+
+def test_new_epoch_logs_line_again():
+    m = bsp_machine(bsp_epoch_stores=5)
+    p = Program()
+    for _ in range(10):                 # spans two hardware epochs
+        p.store(0x1000, 8)
+    result = m.run([p])
+    assert result.stats.domain("nvram").get("writes_log") == 2
+
+
+def test_log_entries_capture_old_values():
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BSP, bsp_epoch_stores=5,
+    )
+    m = Multicore(config, track_values=True, track_persist_order=True)
+    p = Program()
+    p.store(0x1000, 8, value="v1")
+    for i in range(5):
+        p.store(0x2000 + i * 64, 8)     # force the epoch boundary
+    p.store(0x1000, 8, value="v2")
+    m.run([p])
+    olds = [old.get(0) for _line, (data, old) in
+            m.image.log_entries.items() if data == 0x1000]
+    # First log: line was fresh (no prior value); second: "v1".
+    assert None in olds or {} in olds or olds[0] is None
+    assert "v1" in olds
+
+
+def test_log_region_addresses_are_per_core():
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BSP, bsp_epoch_stores=10,
+    )
+    m = Multicore(config, track_persist_order=True)
+    p0 = Program()
+    p1 = Program()
+    for i in range(5):
+        p0.store(0x1000 + i * 64, 8)
+        p1.store(0x9000 + i * 64, 8)
+    m.run([p0, p1])
+    log_lines = {r.core_id: set() for r in m.image.history
+                 if r.kind == "log"}
+    for r in m.image.history:
+        if r.kind == "log":
+            log_lines[r.core_id].add(r.line)
+    if len(log_lines) == 2:
+        assert not (log_lines[0] & log_lines[1])
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def test_checkpoint_lines_match_configured_size():
+    m = bsp_machine(checkpoint_bytes=832)   # 13 lines
+    assert m.checkpoints[0].lines_per_checkpoint == 13
+    p = Program()
+    for _ in range(30):                      # exactly one hardware epoch
+        p.store(0x1000, 8)
+    result = m.run([p])
+    hw_barriers = result.stats.total("hw_barriers")
+    assert result.stats.domain("nvram").get("writes_checkpoint") == \
+        13 * hw_barriers
+
+
+def test_epoch_not_persisted_until_checkpoint_durable():
+    m = bsp_machine(nvram_write_latency=5_000)
+    p = Program()
+    for _ in range(30):
+        p.store(0x1000, 8)
+    result = m.run([p], drain=True)
+    # With the drain complete, checkpoints and epochs balance out.
+    assert result.cycles_durable is not None
+    assert result.stats.total("epochs_persisted") == \
+        result.stats.total("epochs")
+
+
+def test_bep_never_checkpoints():
+    m = bep_machine()
+    p = Program()
+    for i in range(20):
+        p.store(0x1000 + i * 64, 8).barrier()
+    result = m.run([p])
+    assert result.stats.domain("nvram").get("writes_checkpoint") == 0
+    assert result.stats.domain("nvram").get("writes_log") == 0

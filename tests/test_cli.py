@@ -1,0 +1,76 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_subcommands_exist():
+    parser = build_parser()
+    for argv in (
+        ["run", "--workload", "queue"],
+        ["figures", "fig11"],
+        ["crash"],
+        ["inspect"],
+    ):
+        args = parser.parse_args(argv)
+        assert callable(args.func)
+
+
+def test_run_microbenchmark(capsys):
+    rc = main(["run", "--workload", "queue", "--design", "LB",
+               "--scale", "tiny", "--transactions", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "queue / LB / BEP" in out
+
+
+def test_run_app_workload(capsys):
+    rc = main(["run", "--workload", "cholesky", "--design", "LB++",
+               "--scale", "tiny", "--mem-ops", "400",
+               "--epoch-stores", "50"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cholesky / LB++ / BSP" in out
+    assert "NVRAM writes" in out
+
+
+def test_run_unknown_workload():
+    rc = main(["run", "--workload", "nosuchthing", "--scale", "tiny"])
+    assert rc == 2
+
+
+def test_crash_queue(capsys):
+    rc = main(["crash", "--workload", "queue", "--cycle", "5000"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "valid epoch order" in out
+    assert "recovered queue" in out
+
+
+def test_crash_bsp_app(capsys):
+    rc = main(["crash", "--workload", "intruder", "--cycle", "8000",
+               "--epoch-stores", "40"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rolled back" in out
+
+
+def test_inspect(capsys):
+    rc = main(["inspect", "--scale", "paper"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "num_cores" in out and "32" in out
+
+
+def test_figures_delegates(capsys):
+    rc = main(["figures", "fig12", "--scale", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 12" in out
+
+
+def test_bad_design_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "queue", "--design", "LBX"])

@@ -1,0 +1,98 @@
+"""Tests for machine configuration and derived geometry."""
+
+import pytest
+
+from repro.sim.config import (
+    BarrierDesign,
+    FlushMode,
+    MachineConfig,
+    PersistencyModel,
+)
+
+
+def test_paper_config_matches_table1():
+    config = MachineConfig.paper()
+    assert config.num_cores == 32
+    assert config.write_buffer_entries == 32
+    assert config.l1_size == 32 * 1024
+    assert config.l1_assoc == 4
+    assert config.l1_latency == 3
+    assert config.llc_bank_size == 1024 * 1024
+    assert config.llc_banks == 32
+    assert config.llc_assoc == 16
+    assert config.llc_latency == 30
+    assert config.num_memory_controllers == 4
+    assert config.nvram_read_latency == 240
+    assert config.nvram_write_latency == 360
+    assert config.mesh_rows == 4
+    assert config.line_size == 64
+    assert config.max_inflight_epochs == 8   # 3-bit epoch IDs
+    assert config.idt_registers_per_epoch == 4
+
+
+def test_derived_cache_geometry():
+    config = MachineConfig.paper()
+    # 32KB / (64B * 4 ways) = 128 sets
+    assert config.l1_sets == 128
+    # 1MB / (64B * 16 ways) = 1024 sets
+    assert config.llc_bank_sets == 1024
+    assert config.offset_bits == 6
+
+
+def test_line_of_alignment():
+    config = MachineConfig.tiny()
+    assert config.line_of(0) == 0
+    assert config.line_of(63) == 0
+    assert config.line_of(64) == 64
+    assert config.line_of(0x12345) == 0x12340
+
+
+def test_lines_in_spanning_access():
+    config = MachineConfig.tiny()
+    assert config.lines_in(0, 8) == [0]
+    assert config.lines_in(60, 8) == [0, 64]
+    assert config.lines_in(0, 512) == [i * 64 for i in range(8)]
+
+
+def test_with_override():
+    config = MachineConfig.small()
+    other = config.with_(num_cores=4)
+    assert other.num_cores == 4
+    assert config.num_cores == 8  # original untouched
+
+
+@pytest.mark.parametrize("field,value", [
+    ("num_cores", 0),
+    ("line_size", 48),
+    ("llc_banks", 0),
+    ("num_memory_controllers", 0),
+    ("mesh_rows", 0),
+    ("max_inflight_epochs", 1),
+])
+def test_invalid_configs_rejected(field, value):
+    with pytest.raises(ValueError):
+        MachineConfig.tiny(**{field: value})
+
+
+def test_barrier_design_feature_flags():
+    assert not BarrierDesign.LB.uses_idt
+    assert not BarrierDesign.LB.uses_pf
+    assert BarrierDesign.LB_IDT.uses_idt
+    assert not BarrierDesign.LB_IDT.uses_pf
+    assert not BarrierDesign.LB_PF.uses_idt
+    assert BarrierDesign.LB_PF.uses_pf
+    assert BarrierDesign.LB_PP.uses_idt
+    assert BarrierDesign.LB_PP.uses_pf
+
+
+def test_persistency_model_flags():
+    assert PersistencyModel.BEP.buffered
+    assert PersistencyModel.BSP.buffered
+    assert not PersistencyModel.EP.buffered
+    assert PersistencyModel.BSP.hardware_epochs
+    assert PersistencyModel.BSP_WT.hardware_epochs
+    assert not PersistencyModel.BEP.hardware_epochs
+
+
+def test_flush_modes_distinct():
+    assert FlushMode.CLWB.value != FlushMode.CLFLUSH.value

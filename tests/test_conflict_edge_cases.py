@@ -1,0 +1,124 @@
+"""Edge cases in conflict handling: two-version collisions, eviction
+chains, flush/eviction races."""
+
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def machine(design=BarrierDesign.LB_IDT, **overrides):
+    defaults = dict(
+        barrier_design=design, persistency=PersistencyModel.BEP,
+    )
+    defaults.update(overrides)
+    return Multicore(MachineConfig.tiny(**defaults),
+                     track_persist_order=True, keep_epoch_log=True)
+
+
+def test_version_collision_resolved_by_flushing_old_version():
+    """IDT leaves T0's old version in the LLC; when T1's L1 later evicts
+    its new dirty version onto it, the old version's epoch must flush
+    first (the two-version collision)."""
+    m = machine(l1_size=256)  # 1-set L1: easy to force evictions
+    # T0 dirties the line and keeps its epoch unpersisted (LB+IDT: no PF).
+    p0 = Program().store(0x1000, 8).barrier().store(0x2000, 8)
+    # T1 takes ownership via IDT (old version retained in LLC), then
+    # floods its L1 so the new dirty version is evicted onto the LLC.
+    p1 = Program().compute(2000).store(0x1000, 8)
+    for i in range(8):
+        p1.store(0x10000 + i * 0x100, 8)   # same L1 set as 0x1000
+    p1.barrier()
+    result = m.run([p0, p1])
+    assert result.finished
+    m.audit()
+    # The persist history must show T0's version before T1's.
+    versions = [(r.core_id, r.epoch_seq) for r in m.image.history
+                if r.line == 0x1000 and r.kind in ("data", "eviction")]
+    assert versions and versions[0][0] == 0
+
+
+def test_eviction_of_dependent_epoch_waits_for_idt_source():
+    """A line of an epoch with an unpersisted IDT source cannot reach
+    NVRAM before the source epoch: eviction must force the source chain
+    first."""
+    m = machine(llc_bank_size=2048, l1_size=256)
+    # T0 publishes a line; T1 reads it (IDT edge) then writes a large
+    # working set so its dependent epoch's lines face eviction.
+    p0 = Program().store(0x1000, 8).barrier().store(0x9000, 8)
+    p1 = Program().compute(1500).load(0x1000)
+    for i in range(160):
+        p1.store(0x20000 + i * 64, 8)
+    p1.barrier()
+    result = m.run([p0, p1])
+    assert result.finished
+    # Whatever path persisted them, order must hold: T0's epoch-0 line
+    # before any line of T1's dependent epoch.
+    from repro.recovery.crash import CrashOutcome, snapshot_epochs
+    from repro.recovery.checker import check_epoch_order
+    outcome = CrashOutcome(m.engine.now, m.image, snapshot_epochs(m))
+    assert check_epoch_order(outcome) > 0
+
+
+def test_eviction_conflict_counted():
+    m = machine(design=BarrierDesign.LB, llc_bank_size=2048, l1_size=256)
+    p = Program()
+    # Many epochs, working set far beyond the LLC: replacements must hit
+    # dirty unpersisted lines whose predecessors haven't persisted.
+    for i in range(200):
+        p.store(0x20000 + i * 64, 8)
+        if i % 16 == 15:
+            p.barrier()
+    p.barrier()
+    result = m.run([p])
+    assert result.finished
+    assert result.stats.domain("conflicts").get("eviction_conflicts") > 0
+
+
+def test_flush_skips_lines_already_evicted():
+    """A line can leave the caches (natural eviction) between flush
+    scheduling and flush issue; the handshake must tolerate it."""
+    m = machine(design=BarrierDesign.LB_PP, llc_bank_size=2048,
+                l1_size=256)
+    p = Program()
+    for i in range(120):
+        p.store(0x20000 + i * 64, 8)
+        if i % 24 == 23:
+            p.barrier()
+    p.barrier()
+    result = m.run([p])
+    assert result.finished
+    m.audit()
+    # Every epoch eventually persisted despite the mixed paths.
+    assert result.stats.total("epochs_persisted") == \
+        result.stats.total("epochs")
+
+
+def test_same_line_across_many_epochs_persists_every_version():
+    m = machine(design=BarrierDesign.LB)
+    p = Program()
+    rounds = 6
+    for i in range(rounds):
+        p.store(0x1000, 8)
+        p.store(0x2000 + i * 64, 8)
+        p.barrier()
+    result = m.run([p])
+    assert result.finished
+    versions = [r.epoch_seq for r in m.image.history
+                if r.line == 0x1000 and r.kind in ("data", "eviction")]
+    # Each epoch's version of the hot line reached NVRAM, in order.
+    assert versions == sorted(versions)
+    assert len(versions) == rounds
+
+
+def test_write_buffer_forwarding_does_not_skip_conflicts():
+    """A forwarded load must not bypass the conflict machinery for the
+    *store* that eventually drains."""
+    m = machine(design=BarrierDesign.LB)
+    p = Program()
+    p.store(0x1000, 8).barrier()
+    p.store(0x1000, 8)       # intra conflict at drain time
+    p.load(0x1000)           # forwarded from WB meanwhile
+    p.barrier()
+    result = m.run([p])
+    assert result.intra_conflicts == 1
+    assert result.stats.domain("core0").get("wb_forwards") == 1

@@ -1,0 +1,162 @@
+"""Integration tests for the paper's conflict semantics (section 3).
+
+These drive small hand-built programs through a 2-core machine and
+assert exactly which conflicts arise and how each barrier design
+resolves them.
+"""
+
+import pytest
+
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def machine(design=BarrierDesign.LB, **overrides):
+    config = MachineConfig.tiny(
+        barrier_design=design, persistency=PersistencyModel.BEP, **overrides
+    )
+    return Multicore(config)
+
+
+def test_store_to_own_older_epoch_line_is_intra_conflict():
+    m = machine()
+    p = Program().store(0x1000, 8).barrier().store(0x2000, 8).barrier()
+    p.store(0x1000, 8).barrier()
+    result = m.run([p])
+    assert result.intra_conflicts == 1
+    assert result.inter_conflicts == 0
+    m.audit()
+
+
+def test_store_within_same_epoch_coalesces_without_conflict():
+    m = machine()
+    p = Program()
+    for _ in range(10):
+        p.store(0x1000, 8)
+    p.barrier()
+    result = m.run([p])
+    assert result.intra_conflicts == 0
+    # Ten coalesced stores persist as one line write.
+    assert result.stats.domain("nvram").get("writes_data") == 1
+
+
+def test_load_of_own_older_epoch_line_is_not_a_conflict():
+    m = machine()
+    p = Program().store(0x1000, 8).barrier().load(0x1000)
+    p.store(0x2000, 8).barrier()
+    result = m.run([p])
+    assert result.intra_conflicts == 0
+    assert result.inter_conflicts == 0
+
+
+def test_remote_load_of_unpersisted_line_is_inter_conflict():
+    m = machine()
+    p0 = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    p1 = Program().compute(2000).load(0x1000)
+    result = m.run([p0, p1])
+    assert result.inter_conflicts == 1
+
+
+def test_remote_store_of_unpersisted_line_is_inter_conflict():
+    m = machine()
+    p0 = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    p1 = Program().compute(2000).store(0x1000, 8).barrier()
+    result = m.run([p0, p1])
+    assert result.inter_conflicts == 1
+
+
+def test_idt_absorbs_inter_conflict_without_stall():
+    m = machine(BarrierDesign.LB_IDT)
+    p0 = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    p1 = Program().compute(2000).load(0x1000).store(0x5000, 8).barrier()
+    result = m.run([p0, p1])
+    conflicts = result.stats.domain("conflicts")
+    assert conflicts.get("inter_thread") == 1
+    assert conflicts.get("idt_tracked") == 1
+    assert result.stats.domain("idt").get("idt_edges") == 1
+
+
+def test_conflict_with_ongoing_epoch_splits_it():
+    m = machine(BarrierDesign.LB_IDT)
+    # p0's epoch never closes during p1's read window.
+    p0 = Program().store(0x1000, 8).compute(5000).store(0x3000, 8).barrier()
+    p1 = Program().compute(2000).load(0x1000).store(0x5000, 8).barrier()
+    result = m.run([p0, p1])
+    assert result.stats.total("epoch_splits") == 1
+
+
+def test_circular_sharing_does_not_deadlock():
+    """The Figure 5 scenario: mutual reads of each other's ongoing
+    epochs must not deadlock under any design."""
+    for design in BarrierDesign:
+        m = machine(design)
+        pa = Program().store(0x1000, 8).compute(1000).load(0x2000)
+        pa.store(0x7000, 8).barrier()
+        pb = Program().store(0x2000, 8).compute(1000).load(0x1000)
+        pb.store(0x8000, 8).barrier()
+        result = m.run([pa, pb])
+        assert result.finished, design
+        assert result.cycles_durable is not None, design
+        m.audit()
+
+
+def test_idt_register_overflow_falls_back_to_online_flush():
+    m = machine(BarrierDesign.LB_IDT, idt_registers_per_epoch=1)
+    # Two remote cores each publish a line; the reader's single epoch
+    # would need two dependence registers.
+    cfg = m.config
+    assert cfg.idt_registers_per_epoch == 1
+    p0 = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    p1 = Program().compute(3000).load(0x1000).load(0x2000)
+    p1.store(0x5000, 8).barrier()
+    m2 = Multicore(cfg)
+    # Use a 3-core machine for two distinct sources.
+    config3 = MachineConfig.tiny(
+        num_cores=3, llc_banks=2, mesh_rows=1,
+        barrier_design=BarrierDesign.LB_IDT,
+        persistency=PersistencyModel.BEP, idt_registers_per_epoch=1,
+    )
+    m3 = Multicore(config3)
+    pa = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    pb = Program().store(0x2000, 8).barrier().store(0x4000, 8).barrier()
+    pc = Program().compute(3000).load(0x1000).load(0x2000)
+    pc.store(0x5000, 8).barrier()
+    result = m3.run([pa, pb, pc])
+    idt = result.stats.domain("idt")
+    assert idt.get("idt_register_overflow") >= 1
+
+
+def test_eviction_of_unpersisted_line_respects_epoch_order():
+    """Filling a tiny LLC set with unpersisted dirty lines forces
+    eviction conflicts, never an ordering violation."""
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB,
+        persistency=PersistencyModel.BEP,
+        l1_size=256,          # 1 set x 4 ways per... 256/64/4 = 1 set
+        llc_bank_size=2048,   # tiny: 2 sets x 16 ways per bank
+    )
+    m = Multicore(config, track_persist_order=True, keep_epoch_log=True)
+    p = Program()
+    for i in range(64):
+        p.store(0x10000 + i * 64 * 4, 8)  # all map to few sets
+        if i % 4 == 3:
+            p.barrier()
+    p.barrier()
+    result = m.run([p])
+    assert result.finished
+    # The recovery checker validates the persist order end-to-end.
+    from repro.recovery.crash import CrashOutcome, snapshot_epochs
+    from repro.recovery.checker import check_epoch_order
+    outcome = CrashOutcome(m.engine.now, m.image, snapshot_epochs(m))
+    assert check_epoch_order(outcome) > 0
+
+
+def test_conflict_epoch_percentage_counts_conflict_flushes():
+    m = machine()
+    p = Program()
+    # Rewrite one hot line across epochs: every epoch gets conflict-flushed.
+    for i in range(10):
+        p.store(0x1000, 8).store(0x2000 + i * 64, 8).barrier()
+    result = m.run([p])
+    assert result.conflict_epoch_pct > 50

@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, fired.append, "c")
+    engine.schedule(10, fired.append, "a")
+    engine.schedule(20, fired.append, "b")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_cycle_events_fire_in_schedule_order():
+    engine = Engine()
+    fired = []
+    for tag in "abcde":
+        engine.schedule(5, fired.append, tag)
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_priority_orders_same_cycle_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "low", priority=1)
+    engine.schedule(5, fired.append, "high", priority=0)
+    engine.run()
+    assert fired == ["high", "low"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: engine.schedule_at(25, fired.append, "x"))
+    engine.run()
+    assert fired == ["x"]
+    assert engine.now == 25
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, fired.append, "early")
+    engine.schedule(100, fired.append, "late")
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10, fired.append, "cancelled")
+    engine.schedule(5, fired.append, "kept")
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    fired = []
+
+    def stopper():
+        fired.append("first")
+        engine.stop()
+
+    engine.schedule(1, stopper)
+    engine.schedule(2, fired.append, "second")
+    assert engine.run() == 1
+    assert fired == ["first"]
+    engine.run()
+    assert fired == ["first", "second"]
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            engine.schedule(1, chain, n + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert engine.now == 5
+
+
+def test_zero_delay_runs_after_queued_same_cycle_events():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule(0, fired.append, "nested")
+
+    engine.schedule(3, first)
+    engine.schedule(3, fired.append, "second")
+    engine.run()
+    assert fired == ["first", "second", "nested"]
+
+
+def test_max_events_bound():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(i, fired.append, i)
+    engine.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_pending_and_peek():
+    engine = Engine()
+    assert engine.peek_time() is None
+    event = engine.schedule(7, lambda: None)
+    engine.schedule(3, lambda: None)
+    assert engine.pending() == 2
+    assert engine.peek_time() == 3
+    event.cancel()
+    assert engine.pending() == 1

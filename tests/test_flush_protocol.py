@@ -1,0 +1,131 @@
+"""Tests for the multi-banked epoch flush protocol (section 4.1)."""
+
+from repro.sim.config import BarrierDesign, FlushMode, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def run_machine(flush_mode=FlushMode.CLWB, num_cores=2, **overrides):
+    config = MachineConfig.tiny(
+        num_cores=num_cores,
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BEP,
+        flush_mode=flush_mode,
+        **overrides,
+    )
+    return Multicore(config, track_persist_order=True)
+
+
+def test_flush_persists_every_line_of_the_epoch():
+    m = run_machine()
+    p = Program()
+    lines = [0x1000 + i * 64 for i in range(10)]
+    for line in lines:
+        p.store(line, 8)
+    p.barrier()
+    result = m.run([p])
+    assert result.cycles_durable is not None
+    persisted = {r.line for r in m.image.history if r.kind == "data"}
+    assert persisted == set(lines)
+
+
+def test_epochs_persist_in_program_order():
+    m = run_machine()
+    p = Program()
+    for epoch in range(6):
+        for i in range(4):
+            p.store(0x1000 + (epoch * 4 + i) * 64, 8)
+        p.barrier()
+    m.run([p])
+    seqs = [r.epoch_seq for r in m.image.history if r.kind == "data"]
+    assert seqs == sorted(seqs)
+
+
+def test_clwb_flush_keeps_lines_cached():
+    m = run_machine(FlushMode.CLWB)
+    p = Program().store(0x1000, 8).barrier().compute(5000).load(0x1000)
+    result = m.run([p])
+    # After the proactive flush, the reload must still hit the L1.
+    l1 = result.stats.domain("l1.0")
+    assert l1.get("hits") == 1
+
+
+def test_clflush_flush_invalidates_lines():
+    m = run_machine(FlushMode.CLFLUSH)
+    p = Program().store(0x1000, 8).barrier().compute(5000).load(0x1000)
+    result = m.run([p])
+    l1 = result.stats.domain("l1.0")
+    assert l1.get("hits") == 0
+    # The reload had to go all the way to memory.
+    assert result.stats.domain("nvram").get("reads") >= 1
+
+
+def test_clflush_slower_than_clwb_on_reuse_workload():
+    def run(mode):
+        m = run_machine(mode)
+        p = Program()
+        for round_ in range(30):
+            for i in range(8):
+                p.store(0x1000 + i * 64, 8)
+            p.barrier()
+            for i in range(8):
+                p.load(0x1000 + i * 64)
+            p.compute(200)
+        result = m.run([p])
+        return result.cycles_visible
+
+    assert run(FlushMode.CLFLUSH) > run(FlushMode.CLWB)
+
+
+def test_flush_handshake_cost_scales_with_mesh_size():
+    """The Figure 8 handshake's FlushEpoch/PersistCMP broadcasts and
+    BankAcks cross the mesh, so a physically larger chip pays more per
+    epoch persist (the messages themselves travel in parallel, so bank
+    *count* at fixed distance is free)."""
+
+    def durable_time(cores, banks, rows):
+        config = MachineConfig.tiny(
+            num_cores=cores, llc_banks=banks, mesh_rows=rows,
+            barrier_design=BarrierDesign.LB_PP,
+            persistency=PersistencyModel.BEP,
+        )
+        m = Multicore(config)
+        programs = [Program().store(0x1000, 8).barrier()]
+        programs += [Program() for _ in range(cores - 1)]
+        return m.run(programs).cycles_durable
+
+    assert durable_time(16, 16, 4) > durable_time(2, 2, 1)
+
+
+def test_multibank_ordering_violation_prevented():
+    """Figure 7: lines of epoch 2 in one bank must not persist before
+    epoch 1's lines resident in another bank."""
+    m = run_machine(llc_banks=2, num_cores=2)
+    p = Program()
+    # Epoch 1 writes lines mapping to both banks; epoch 2 to one bank.
+    p.store(0x1000, 8).store(0x1040, 8).barrier()   # banks 0 and 1
+    p.store(0x2040, 8).barrier()                     # bank 1
+    m.run([p])
+    history = [r for r in m.image.history if r.kind == "data"]
+    first_e2 = min(
+        (i for i, r in enumerate(history) if r.epoch_seq == 1),
+        default=None,
+    )
+    e1_indices = [i for i, r in enumerate(history) if r.epoch_seq == 0]
+    assert first_e2 is not None and e1_indices
+    assert max(e1_indices) < first_e2
+
+
+def test_concurrent_flushes_from_different_cores_interleave():
+    m = run_machine(num_cores=2)
+    p0 = Program()
+    p1 = Program()
+    for i in range(8):
+        p0.store(0x1000 + i * 64, 8)
+        p1.store(0x9000 + i * 64, 8)
+    p0.barrier()
+    p1.barrier()
+    result = m.run([p0, p1])
+    assert result.cycles_durable is not None
+    # Both cores' epochs persisted.
+    assert result.stats.total("epochs_persisted") == 2

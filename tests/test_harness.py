@@ -1,0 +1,125 @@
+"""Tests for the experiment harness and report formatting."""
+
+import pytest
+
+from repro.harness.report import FigureTable, normalize_rows
+from repro.harness.runner import (
+    BSP_EPOCH_SIZES,
+    Scale,
+    default_bsp_epoch_size,
+    run_bep,
+    run_bsp,
+)
+from repro.sim.config import BarrierDesign, PersistencyModel
+
+
+def test_figure_table_render_and_summary():
+    table = FigureTable("Demo", ["A", "B"], summary="gmean")
+    table.add_row("x", [1.0, 2.0])
+    table.add_row("y", [1.0, 8.0])
+    name, values = table.summary_row()
+    assert name == "gmean"
+    assert values == pytest.approx([1.0, 4.0])
+    text = table.render()
+    assert "Demo" in text and "gmean" in text and "8.000" in text
+
+
+def test_figure_table_amean():
+    table = FigureTable("Demo", ["A"], summary="amean")
+    table.add_row("x", [10.0])
+    table.add_row("y", [20.0])
+    assert table.summary_row()[1] == [15.0]
+
+
+def test_figure_table_row_arity_checked():
+    table = FigureTable("Demo", ["A", "B"])
+    with pytest.raises(ValueError):
+        table.add_row("x", [1.0])
+
+
+def test_figure_table_as_dict():
+    table = FigureTable("Demo", ["A"], summary="none")
+    table.add_row("x", [3.0])
+    assert table.as_dict() == {"x": {"A": 3.0}}
+
+
+def test_normalize_rows():
+    raw = {"x": {"LB": 2.0, "LB++": 3.0}}
+    out = normalize_rows(raw, "LB")
+    assert out["x"] == {"LB": 1.0, "LB++": 1.5}
+    with pytest.raises(ZeroDivisionError):
+        normalize_rows({"x": {"LB": 0.0}}, "LB")
+
+
+def test_epoch_sizes_scale_with_run_length():
+    for scale in Scale:
+        sizes = BSP_EPOCH_SIZES[scale]
+        assert sizes == tuple(sorted(sizes))
+        assert default_bsp_epoch_size(scale) == sizes[-1]
+    assert BSP_EPOCH_SIZES[Scale.PAPER] == (300, 1000, 10000)
+
+
+def test_run_bep_returns_result_with_throughput():
+    result = run_bep("queue", BarrierDesign.LB, scale=Scale.TINY,
+                     transactions=15)
+    assert result.finished
+    assert result.throughput > 0
+    assert 0 <= result.conflict_epoch_pct <= 100
+
+
+def test_run_bsp_np_baseline_has_no_epochs():
+    result = run_bsp("cholesky", BarrierDesign.LB, scale=Scale.TINY,
+                     persistency=PersistencyModel.NP, mem_ops=600)
+    assert result.finished
+    assert result.total_epochs == 0
+
+
+def test_run_bsp_creates_hardware_epochs():
+    result = run_bsp("cholesky", BarrierDesign.LB_PP, scale=Scale.TINY,
+                     epoch_stores=30, mem_ops=600)
+    assert result.total_epochs > 1
+    assert result.cycles_durable is not None
+
+
+@pytest.mark.slow
+def test_fig11_reproduces_paper_ordering():
+    """LB++ must beat LB on gmean, with PF the dominant optimization --
+    the headline result of the paper."""
+    from repro.harness.experiments import fig11, run_bep_sweep
+    sweep = run_bep_sweep(Scale.TINY, seed=1, transactions=40)
+    table = fig11(Scale.TINY, sweep=sweep)
+    summary = dict(zip(table.columns, table.summary_row()[1]))
+    assert summary["LB"] == pytest.approx(1.0)
+    assert summary["LB++"] > 1.05          # paper: 1.22
+    assert summary["LB+PF"] > summary["LB+IDT"]  # PF dominates on micros
+
+
+@pytest.mark.slow
+def test_fig12_conflicts_drop_with_pf():
+    from repro.harness.experiments import fig12, run_bep_sweep
+    sweep = run_bep_sweep(Scale.TINY, seed=1, transactions=40)
+    table = fig12(Scale.TINY, sweep=sweep)
+    summary = dict(zip(table.columns, table.summary_row()[1]))
+    assert summary["LB"] > 60               # paper: ~90%
+    assert summary["LB+PF"] < summary["LB"]
+    assert summary["LB++"] <= summary["LB+PF"] + 5
+
+
+@pytest.mark.slow
+def test_fig13_epoch_size_shape():
+    from repro.harness.experiments import fig13
+    table = fig13(Scale.TINY, apps=["radix", "freqmine", "cholesky"])
+    small, _medium, large = table.summary_row()[1]
+    assert small > large        # small epochs cost more (paper: 1.9 vs 1.5)
+    assert large > 1.0          # persistence is never free
+
+
+@pytest.mark.slow
+def test_fig14_design_ordering():
+    from repro.harness.experiments import fig14
+    table, inter_share = fig14(Scale.TINY, apps=["ssca2", "intruder"])
+    rows = table.as_dict()
+    for app in ("ssca2", "intruder"):
+        assert rows[app]["LB"] >= rows[app]["LB+IDT"] - 0.02
+        assert rows[app]["LB++NOLOG"] <= rows[app]["LB++"] + 0.02
+    assert inter_share > 50  # paper: 86%

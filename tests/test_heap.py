@@ -1,0 +1,98 @@
+"""Tests for the persistent-heap allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.heap import HeapExhausted, PersistentHeap
+
+
+def test_allocations_are_line_aligned():
+    heap = PersistentHeap(0x1000, 4096, line_size=64)
+    for size in (1, 8, 63, 64, 65, 512):
+        assert heap.alloc(size) % 64 == 0
+
+
+def test_allocations_do_not_overlap():
+    heap = PersistentHeap(0x1000, 1 << 16, line_size=64)
+    spans = []
+    for _ in range(32):
+        addr = heap.alloc(100)
+        spans.append((addr, addr + 128))
+    spans.sort()
+    for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+        assert a1 <= b0
+
+
+def test_free_reuses_block():
+    heap = PersistentHeap(0x1000, 4096)
+    addr = heap.alloc(512)
+    heap.free(addr, 512)
+    assert heap.alloc(512) == addr
+
+
+def test_free_lists_are_size_segregated():
+    heap = PersistentHeap(0x1000, 1 << 16)
+    small = heap.alloc(64)
+    heap.free(small, 64)
+    big = heap.alloc(512)
+    assert big != small
+
+
+def test_exhaustion_raises():
+    heap = PersistentHeap(0x1000, 128, line_size=64)
+    heap.alloc(64)
+    heap.alloc(64)
+    with pytest.raises(HeapExhausted):
+        heap.alloc(64)
+
+
+def test_free_after_exhaustion_allows_alloc():
+    heap = PersistentHeap(0x1000, 128, line_size=64)
+    a = heap.alloc(64)
+    heap.alloc(64)
+    heap.free(a, 64)
+    assert heap.alloc(64) == a
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        PersistentHeap(0x1001, 4096)      # misaligned base
+    with pytest.raises(ValueError):
+        PersistentHeap(0x1000, 0)
+    heap = PersistentHeap(0x1000, 4096)
+    with pytest.raises(ValueError):
+        heap.alloc(0)
+    with pytest.raises(ValueError):
+        heap.free(0x0, 64)                # outside the heap
+
+
+def test_accounting():
+    heap = PersistentHeap(0x1000, 4096)
+    addr = heap.alloc(100)               # rounds to 128
+    assert heap.allocated_bytes == 128
+    assert heap.live_objects == 1
+    heap.free(addr, 100)
+    assert heap.allocated_bytes == 0
+    assert heap.live_objects == 0
+    assert heap.high_water_mark == 128
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=1024), min_size=1,
+                max_size=60))
+def test_property_alloc_free_cycles_never_overlap_live_objects(sizes):
+    """Any alloc/free interleaving keeps live blocks disjoint."""
+    heap = PersistentHeap(0x10000, 1 << 20, line_size=64)
+    live = {}
+    for i, size in enumerate(sizes):
+        addr = heap.alloc(size)
+        rounded = ((size + 63) // 64) * 64
+        for other, (ostart, olen) in live.items():
+            assert addr + rounded <= ostart or ostart + olen <= addr
+        live[addr] = (addr, rounded)
+        if i % 3 == 2:
+            victim = next(iter(live))
+            start, length = live.pop(victim)
+            heap.free(start, length)
+    assert heap.live_objects == len(live)

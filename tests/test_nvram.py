@@ -1,0 +1,103 @@
+"""Tests for memory controllers and the NVRAM image."""
+
+import pytest
+
+from repro.mem.nvram import MemoryController, NVRAMImage
+from repro.sim.config import MachineConfig
+from repro.sim.engine import Engine
+from repro.sim.stats import StatDomain
+
+
+def make_mc(track_order=True, **overrides):
+    config = MachineConfig.tiny(**overrides)
+    engine = Engine()
+    image = NVRAMImage(track_order=track_order)
+    mc = MemoryController(0, config, engine, image, StatDomain("nvram"))
+    return config, engine, image, mc
+
+
+def test_write_latency_and_commit():
+    config, engine, image, mc = make_mc()
+    times = []
+    mc.write(0x1000, 0, 5, "data", {0: "v"}, callback=times.append)
+    engine.run()
+    assert times == [config.nvram_write_latency]
+    assert image.values[0x1000] == {0: "v"}
+    record = image.last_persist[0x1000]
+    assert (record.core_id, record.epoch_seq, record.kind) == (0, 5, "data")
+
+
+def test_read_latency():
+    config, engine, image, mc = make_mc()
+    times = []
+    mc.read(0x1000, times.append)
+    engine.run()
+    assert times == [config.nvram_read_latency]
+
+
+def test_writes_queue_behind_occupancy():
+    config, engine, image, mc = make_mc()
+    times = []
+    for i in range(3):
+        mc.write(i * 64, 0, 0, "data", callback=times.append)
+    engine.run()
+    occupancy = config.mc_write_occupancy
+    latency = config.nvram_write_latency
+    assert times == [latency, occupancy + latency, 2 * occupancy + latency]
+
+
+def test_reads_queue_behind_writes():
+    config, engine, image, mc = make_mc()
+    times = []
+    mc.write(0, 0, 0, "data")
+    mc.read(64, times.append)
+    engine.run()
+    assert times[0] == config.mc_write_occupancy + config.nvram_read_latency
+
+
+def test_persist_order_tracked_globally():
+    config, engine, image, mc = make_mc()
+    mc.write(0, 0, 0, "data")
+    mc.write(64, 1, 2, "data")
+    engine.run()
+    assert [r.index for r in image.history] == [0, 1]
+    assert image.history[0].line == 0
+    assert image.history[1].core_id == 1
+    assert image.persist_count == 2
+
+
+def test_history_disabled_when_not_tracking():
+    config, engine, image, mc = make_mc(track_order=False)
+    mc.write(0, 0, 0, "data")
+    engine.run()
+    assert image.history == []
+    assert image.persist_count == 1
+
+
+def test_log_writes_record_entries():
+    config, engine, image, mc = make_mc()
+    acked = []
+    mc.write_log(0xF0000000, 0x2000, 1, 3, {8: "old"},
+                 callback=acked.append)
+    engine.run()
+    assert acked
+    data_line, old = image.log_entries[0xF0000000]
+    assert data_line == 0x2000
+    assert old == {8: "old"}
+    assert image.last_persist[0xF0000000].kind == "log"
+
+
+def test_plain_write_rejects_log_kind():
+    config, engine, image, mc = make_mc()
+    mc.write(0xF0000000, 0, 0, "log")
+    with pytest.raises(AssertionError):
+        engine.run()
+
+
+def test_later_write_overwrites_values():
+    config, engine, image, mc = make_mc()
+    mc.write(0, 0, 0, "data", {0: "first"})
+    mc.write(0, 0, 1, "data", {0: "second"})
+    engine.run()
+    assert image.values[0] == {0: "second"}
+    assert image.last_persist[0].epoch_seq == 1

@@ -1,0 +1,146 @@
+"""Tests for the persistency models' visibility/durability rules."""
+
+import random
+
+import pytest
+
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def random_program(seed, n=300, barrier_every=0.06):
+    rng = random.Random(seed)
+    p = Program()
+    lines = [0x100000 * (seed + 1) + 64 * i for i in range(48)]
+    for _ in range(n):
+        addr = rng.choice(lines)
+        if rng.random() < 0.6:
+            p.store(addr, 8)
+        else:
+            p.load(addr)
+        if rng.random() < barrier_every:
+            p.barrier()
+    p.barrier()
+    return p
+
+
+def run_model(model, design=BarrierDesign.LB_PP, **overrides):
+    config = MachineConfig.tiny(
+        persistency=model, barrier_design=design, **overrides
+    )
+    m = Multicore(config)
+    result = m.run([random_program(0), random_program(1)])
+    assert result.finished
+    return result
+
+
+@pytest.fixture(scope="module")
+def model_times():
+    return {
+        model: run_model(model).cycles_visible
+        for model in PersistencyModel
+        if model is not PersistencyModel.BSP
+    }
+
+
+def test_np_is_fastest(model_times):
+    np_time = model_times[PersistencyModel.NP]
+    for model, time in model_times.items():
+        if model is not PersistencyModel.NP:
+            assert time >= np_time, model
+
+
+def test_sp_is_slowest(model_times):
+    """Strict persistency serializes every store behind NVRAM writes
+    (Figure 1a) -- by far the worst model."""
+    sp_time = model_times[PersistencyModel.SP]
+    for model, time in model_times.items():
+        if model is not PersistencyModel.SP:
+            assert sp_time > time, model
+
+
+def test_bep_beats_ep(model_times):
+    """Buffering barriers (Figure 1c vs 1b) removes epoch persists from
+    the critical path."""
+    assert model_times[PersistencyModel.BEP] < model_times[PersistencyModel.EP]
+
+
+def test_np_ignores_barriers():
+    result = run_model(PersistencyModel.NP)
+    assert result.stats.total("epochs") == 0
+    assert result.nvram_writes == result.stats.domain("nvram").get(
+        "writes_eviction"
+    )
+
+
+def test_sp_persists_every_store():
+    result = run_model(PersistencyModel.SP)
+    stores = result.stats.total("stores")
+    assert result.stats.domain("nvram").get("writes_data") == stores
+
+
+def test_wt_persists_every_store_asynchronously():
+    result = run_model(PersistencyModel.BSP_WT)
+    stores = result.stats.total("stores")
+    assert result.stats.domain("nvram").get("writes_data") == stores
+    # WT overlaps writes, so it must beat SP.
+    sp = run_model(PersistencyModel.SP)
+    assert result.cycles_visible < sp.cycles_visible
+
+
+def test_bsp_inserts_hardware_epochs():
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BSP,
+        barrier_design=BarrierDesign.LB_PP, bsp_epoch_stores=50,
+    )
+    m = Multicore(config)
+    p = Program()
+    for i in range(200):
+        p.store(0x1000 + (i % 64) * 64, 8)
+    result = m.run([p])
+    # 200 stores at 50 per epoch: at least 3 hardware barriers (the
+    # trailing epoch closes at stream end).
+    assert result.stats.total("hw_barriers") >= 3
+    # Every hardware epoch checkpoints the register file.
+    assert result.stats.domain("nvram").get("writes_checkpoint") > 0
+
+
+def test_bsp_logging_writes_undo_entries():
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BSP,
+        barrier_design=BarrierDesign.LB_PP, bsp_epoch_stores=50,
+    )
+    m = Multicore(config)
+    p = Program()
+    for i in range(100):
+        p.store(0x1000 + (i % 16) * 64, 8)
+    result = m.run([p])
+    log_writes = result.stats.domain("nvram").get("writes_log")
+    assert log_writes > 0
+    # At most one log entry per (epoch, line) pair: 16 lines, few epochs.
+    assert log_writes <= result.total_epochs * 16
+
+
+def test_bsp_nolog_skips_undo_entries():
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BSP, undo_logging=False,
+        barrier_design=BarrierDesign.LB_PP, bsp_epoch_stores=50,
+    )
+    m = Multicore(config)
+    p = Program()
+    for i in range(100):
+        p.store(0x1000 + (i % 16) * 64, 8)
+    result = m.run([p])
+    assert result.stats.domain("nvram").get("writes_log") == 0
+
+
+def test_ep_stalls_at_barriers():
+    result = run_model(PersistencyModel.EP)
+    assert result.stats.total("ep_barrier_stalls") > 0
+
+
+def test_durable_time_never_before_visible():
+    for model in (PersistencyModel.BEP, PersistencyModel.BSP):
+        result = run_model(model)
+        assert result.cycles_durable >= result.cycles_visible

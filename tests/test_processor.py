@@ -1,0 +1,113 @@
+"""Tests for the core model: write buffer, forwarding, barriers."""
+
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def machine(**overrides):
+    defaults = dict(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BEP,
+    )
+    defaults.update(overrides)
+    return Multicore(MachineConfig.tiny(**defaults))
+
+
+def test_store_to_load_forwarding():
+    m = machine()
+    p = Program().store(0x1000, 8).load(0x1000)
+    result = m.run([p])
+    assert result.stats.domain("core0").get("wb_forwards") == 1
+
+
+def test_no_forwarding_for_different_line():
+    m = machine()
+    p = Program().store(0x1000, 8).load(0x2000)
+    result = m.run([p])
+    assert result.stats.domain("core0").get("wb_forwards") == 0
+
+
+def test_write_buffer_capacity_stalls_issue():
+    m = machine(write_buffer_entries=4, nvram_read_latency=2000)
+    p = Program()
+    # A long-latency load at the head of the drain is impossible; instead
+    # fill the buffer faster than the L1 can drain it.
+    for i in range(64):
+        p.store(0x1000 + i * 64, 8)
+    result = m.run([p])
+    assert result.stats.domain("core0").get("wb_full_stalls") > 0
+
+
+def test_transactions_counted():
+    m = machine()
+    p = Program()
+    for _ in range(5):
+        p.store(0x1000, 8).txn_mark()
+    result = m.run([p])
+    assert result.transactions == 5
+
+
+def test_compute_advances_time_without_memory_traffic():
+    m = machine()
+    p = Program().compute(12345)
+    result = m.run([p])
+    assert result.cycles_visible >= 12345
+    assert result.stats.total("loads") == 0
+
+
+def test_epoch_window_limit_stalls_stores():
+    m = machine(max_inflight_epochs=2, nvram_write_latency=5000,
+                mc_write_occupancy=500)
+    p = Program()
+    for i in range(8):
+        p.store(0x1000 + i * 64, 8).barrier()
+    result = m.run([p])
+    assert result.stats.total("epoch_window_stalls") > 0
+    assert result.finished
+
+
+def test_consecutive_barriers_collapse():
+    m = machine()
+    p = Program().store(0x1000, 8).barrier().barrier().barrier()
+    result = m.run([p])
+    assert result.stats.total("epochs_persisted") == 1
+
+
+def test_empty_program_finishes_immediately():
+    m = machine()
+    result = m.run([Program()])
+    assert result.finished
+    assert result.cycles_visible == 0
+
+
+def test_programs_fewer_than_cores_allowed():
+    m = machine(num_cores=2)
+    result = m.run([Program().store(0x1000, 8)])
+    assert result.finished
+
+
+def test_too_many_programs_rejected():
+    m = machine(num_cores=2)
+    import pytest
+    with pytest.raises(ValueError):
+        m.run([Program(), Program(), Program()])
+
+
+def test_machine_cannot_run_twice():
+    m = machine()
+    m.run([Program()])
+    import pytest
+    with pytest.raises(RuntimeError):
+        m.run([Program()])
+
+
+def test_stores_drain_in_fifo_order():
+    m = machine()
+    m2 = Multicore(m.config, track_persist_order=True)
+    p = Program()
+    for i in range(6):
+        p.store(0x1000 + i * 64, 8).barrier()
+    m2.run([p])
+    data = [r.line for r in m2.image.history if r.kind == "data"]
+    assert data == sorted(data)

@@ -1,0 +1,169 @@
+"""Tests for recovery execution (rollback + reconstruction)."""
+
+import pytest
+
+from repro.recovery import (
+    ConsistencyViolation,
+    recover_bsp,
+    recover_queue,
+    run_with_crash,
+)
+from repro.recovery.crash import CrashOutcome, EpochRecord
+from repro.mem.nvram import NVRAMImage, PersistRecord
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.apps import app_programs
+from repro.workloads.micro import QueueWorkload
+
+
+def bsp_machine(**overrides):
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BSP,
+        bsp_epoch_stores=overrides.pop("bsp_epoch_stores", 40),
+        **overrides,
+    )
+    return Multicore(config, track_values=True, track_persist_order=True,
+                     keep_epoch_log=True)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: crash a BSP run and recover
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("crash_cycle", [5_000, 25_000, 70_000])
+def test_recovered_state_has_no_torn_epochs(crash_cycle):
+    m = bsp_machine()
+    outcome = run_with_crash(
+        m, app_programs("intruder", 2, 800, seed=9), crash_cycle
+    )
+    state = recover_bsp(outcome)
+    # After rollback, every surviving epoch's lines carry values and no
+    # rolled-back epoch's value remains visible.
+    for key in state.rolled_back:
+        record = outcome.epochs[key]
+        assert not record.persisted
+    for core_id, seq in state.survivor_epoch.items():
+        assert (core_id, seq) not in state.rolled_back
+
+
+def test_rollback_restores_pre_epoch_values():
+    """Hand-built scenario: epoch 1 tore; its line must read the value
+    epoch 0 wrote after recovery."""
+    image = NVRAMImage(track_order=True)
+    line = 0x1000
+    log_line = 0xF000_0000
+    history = [
+        PersistRecord(0, 10, line, 0, 0, "data"),
+        PersistRecord(1, 15, log_line, 0, 1, "log"),
+        PersistRecord(2, 20, line, 0, 1, "data"),
+    ]
+    image.history = history
+    for r in history:
+        image.last_persist[r.line] = r
+    image.values = {line: {0: "epoch1-value"}}
+    image.log_entries = {log_line: (line, {0: "epoch0-value"})}
+    epochs = {
+        (0, 0): EpochRecord(0, 0, frozenset({line}), frozenset(), True),
+        (0, 1): EpochRecord(0, 1, frozenset({line, 0x2000}),
+                            frozenset(), False),  # 0x2000 never persisted
+    }
+    outcome = CrashOutcome(100, image, epochs)
+    state = recover_bsp(outcome)
+    assert (0, 1) in state.rolled_back
+    assert state.values[line] == {0: "epoch0-value"}
+    assert state.read(line) == "epoch0-value"
+    assert state.survivor_epoch[0] == 0
+
+
+def test_rollback_cascades_to_dependents():
+    """An epoch whose IDT source tore must be rolled back too, even if
+    it persisted completely."""
+    image = NVRAMImage(track_order=True)
+    lineA, lineB = 0x1000, 0x2000
+    logA, logB = 0xF000_0000, 0xF000_0040
+    history = [
+        PersistRecord(0, 5, logA, 0, 0, "log"),
+        PersistRecord(1, 10, lineA, 0, 0, "data"),
+        PersistRecord(2, 15, logB, 1, 0, "log"),
+        PersistRecord(3, 20, lineB, 1, 0, "data"),
+    ]
+    image.history = history
+    for r in history:
+        image.last_persist[r.line] = r
+    image.values = {lineA: {0: "new-A"}, lineB: {0: "new-B"}}
+    image.log_entries = {
+        logA: (lineA, {0: "old-A"}),
+        logB: (lineB, {0: "old-B"}),
+    }
+    epochs = {
+        # Epoch (0,0) tore (one line never persisted).
+        (0, 0): EpochRecord(0, 0, frozenset({lineA, 0x3000}),
+                            frozenset(), False),
+        # Epoch (1,0) fully persisted but depends on (0,0).
+        (1, 0): EpochRecord(1, 0, frozenset({lineB}),
+                            frozenset({(0, 0)}), False),
+    }
+    outcome = CrashOutcome(100, image, epochs)
+    state = recover_bsp(outcome)
+    assert (0, 0) in state.rolled_back
+    assert (1, 0) in state.rolled_back
+    assert state.values[lineA] == {0: "old-A"}
+    assert state.values[lineB] == {0: "old-B"}
+
+
+def test_rollback_without_log_entry_fails():
+    image = NVRAMImage(track_order=True)
+    line = 0x1000
+    history = [PersistRecord(0, 10, line, 0, 0, "data")]
+    image.history = history
+    image.last_persist[line] = history[0]
+    image.values = {line: {0: "torn"}}
+    epochs = {
+        (0, 0): EpochRecord(0, 0, frozenset({line, 0x2000}),
+                            frozenset(), False),
+    }
+    with pytest.raises(ConsistencyViolation):
+        recover_bsp(CrashOutcome(100, image, epochs))
+
+
+def test_recover_bsp_requires_order_tracking():
+    image = NVRAMImage(track_order=False)
+    with pytest.raises(ValueError):
+        recover_bsp(CrashOutcome(0, image, {}))
+
+
+# ----------------------------------------------------------------------
+# Queue reconstruction
+# ----------------------------------------------------------------------
+def queue_machine():
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB_PP,
+        persistency=PersistencyModel.BEP,
+    )
+    return Multicore(config, track_values=True, track_persist_order=True,
+                     keep_epoch_log=True)
+
+
+@pytest.mark.parametrize("crash_cycle", [3_000, 20_000, 90_000])
+def test_recovered_queue_entries_are_contiguous_and_intact(crash_cycle):
+    m = queue_machine()
+    queue = QueueWorkload(thread_id=0, seed=21)
+    outcome = run_with_crash(m, [queue.ops(70)], crash_cycle)
+    recovered = recover_queue(outcome, queue)
+    assert recovered.length == len(recovered.entries)
+    for token in recovered.entries:
+        assert token[0] == "entry"
+    # Sequence numbers between tail and head are contiguous.
+    seqs = [token[2] for token in recovered.entries]
+    assert seqs == list(range(recovered.tail, recovered.head))
+
+
+def test_recovered_queue_never_exceeds_shadow_state():
+    """Recovery can lag execution (buffered persists) but never run
+    ahead of it."""
+    m = queue_machine()
+    queue = QueueWorkload(thread_id=0, seed=22)
+    outcome = run_with_crash(m, [queue.ops(60)], 50_000)
+    recovered = recover_queue(outcome, queue)
+    assert recovered.head <= queue._inserted
+    assert recovered.tail <= queue._tail

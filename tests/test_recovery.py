@@ -1,0 +1,204 @@
+"""Tests for crash injection and the consistency checkers.
+
+Positive direction: every barrier design, at arbitrary crash points,
+leaves NVRAM in a state the checkers accept.  Negative direction: the
+checkers actually detect violations when fed corrupted histories --
+a checker that cannot fail proves nothing.
+"""
+
+import pytest
+
+from repro.mem.nvram import NVRAMImage, PersistRecord
+from repro.recovery import (
+    ConsistencyViolation,
+    check_bsp_recoverable,
+    check_epoch_order,
+    check_queue_recoverable,
+    run_with_crash,
+)
+from repro.recovery.crash import CrashOutcome, EpochRecord
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.apps import app_programs
+from repro.workloads.micro import QueueWorkload
+
+
+def checker_machine(design=BarrierDesign.LB_PP,
+                    model=PersistencyModel.BEP, **overrides):
+    config = MachineConfig.tiny(
+        barrier_design=design, persistency=model, **overrides
+    )
+    return Multicore(config, track_values=True, track_persist_order=True,
+                     keep_epoch_log=True)
+
+
+# ----------------------------------------------------------------------
+# Positive: simulated machines never violate the invariants
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("design", list(BarrierDesign))
+@pytest.mark.parametrize("crash_cycle", [800, 8000, 60000])
+def test_bep_epoch_order_holds_at_any_crash_point(design, crash_cycle):
+    m = checker_machine(design)
+    queues = [QueueWorkload(thread_id=t, seed=13) for t in range(2)]
+    outcome = run_with_crash(m, [q.ops(50) for q in queues], crash_cycle)
+    check_epoch_order(outcome)
+    for q in queues:
+        check_queue_recoverable(outcome, q)
+
+
+@pytest.mark.parametrize("crash_cycle", [3000, 30000])
+def test_bsp_partially_persisted_epochs_are_undoable(crash_cycle):
+    m = checker_machine(BarrierDesign.LB_PP, PersistencyModel.BSP,
+                        bsp_epoch_stores=40)
+    outcome = run_with_crash(
+        m, app_programs("intruder", 2, 600, seed=5), crash_cycle
+    )
+    check_epoch_order(outcome)
+    check_bsp_recoverable(outcome)
+
+
+def test_crash_requires_tracking_machine():
+    m = Multicore(MachineConfig.tiny())
+    with pytest.raises(ValueError):
+        run_with_crash(m, [[]], 100)
+
+
+def test_queue_checker_accepts_empty_durable_state():
+    m = checker_machine()
+    queue = QueueWorkload(thread_id=0, seed=1)
+    outcome = run_with_crash(m, [queue.ops(10)], 5)  # crash immediately
+    assert check_queue_recoverable(outcome, queue) == 0
+
+
+# ----------------------------------------------------------------------
+# Negative: corrupted histories are rejected
+# ----------------------------------------------------------------------
+def synthetic_outcome(history, epochs, log_entries=None):
+    image = NVRAMImage(track_order=True)
+    image.history = history
+    for record in history:
+        image.last_persist[record.line] = record
+    image.log_entries = log_entries or {}
+    return CrashOutcome(crash_cycle=10_000, image=image, epochs=epochs)
+
+
+def epoch_record(core, seq, lines, sources=()):
+    return EpochRecord(
+        core_id=core, seq=seq, all_lines=frozenset(lines),
+        source_keys=frozenset(sources), persisted=False,
+    )
+
+
+def test_checker_detects_program_order_violation():
+    # Epoch (0,1) persists a line before epoch (0,0) is fully durable.
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100, 0x140}),
+        (0, 1): epoch_record(0, 1, {0x200}),
+    }
+    history = [
+        PersistRecord(0, 10, 0x100, 0, 0, "data"),
+        PersistRecord(1, 20, 0x200, 0, 1, "data"),  # (0,0) incomplete!
+        PersistRecord(2, 30, 0x140, 0, 0, "data"),
+    ]
+    with pytest.raises(ConsistencyViolation):
+        check_epoch_order(synthetic_outcome(history, epochs))
+
+
+def test_checker_detects_idt_edge_violation():
+    # Core 1's epoch depends on core 0's, but persists first.
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100}),
+        (1, 0): epoch_record(1, 0, {0x200}, sources={(0, 0)}),
+    }
+    history = [
+        PersistRecord(0, 10, 0x200, 1, 0, "data"),
+        PersistRecord(1, 20, 0x100, 0, 0, "data"),
+    ]
+    with pytest.raises(ConsistencyViolation):
+        check_epoch_order(synthetic_outcome(history, epochs))
+
+
+def test_checker_detects_transitive_violation():
+    # (2,0) depends on (1,0) depends on (0,0); (0,0) incomplete.
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100}),
+        (1, 0): epoch_record(1, 0, {0x200}, sources={(0, 0)}),
+        (2, 0): epoch_record(2, 0, {0x300}, sources={(1, 0)}),
+    }
+    history = [
+        PersistRecord(0, 5, 0x200, 1, 0, "data"),
+    ]
+    with pytest.raises(ConsistencyViolation):
+        check_epoch_order(synthetic_outcome(history, epochs))
+    # And the valid order passes.
+    history = [
+        PersistRecord(0, 5, 0x100, 0, 0, "data"),
+        PersistRecord(1, 6, 0x200, 1, 0, "data"),
+        PersistRecord(2, 7, 0x300, 2, 0, "data"),
+    ]
+    assert check_epoch_order(synthetic_outcome(history, epochs)) == 3
+
+
+def test_checker_accepts_valid_interleaving():
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100}),
+        (1, 0): epoch_record(1, 0, {0x200}),
+    }
+    history = [
+        PersistRecord(0, 10, 0x200, 1, 0, "data"),
+        PersistRecord(1, 20, 0x100, 0, 0, "data"),
+    ]
+    assert check_epoch_order(synthetic_outcome(history, epochs)) == 2
+
+
+def test_bsp_checker_detects_unlogged_partial_epoch():
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100, 0x140}),
+    }
+    history = [
+        PersistRecord(0, 10, 0x100, 0, 0, "data"),  # partial, no log
+    ]
+    with pytest.raises(ConsistencyViolation):
+        check_bsp_recoverable(synthetic_outcome(history, epochs))
+
+
+def test_bsp_checker_accepts_logged_partial_epoch():
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100, 0x140}),
+    }
+    log_line = 0xF000_0000
+    history = [
+        PersistRecord(0, 5, log_line, 0, 0, "log"),
+        PersistRecord(1, 10, 0x100, 0, 0, "data"),
+    ]
+    outcome = synthetic_outcome(
+        history, epochs, log_entries={log_line: (0x100, {0: "old"})}
+    )
+    assert check_bsp_recoverable(outcome) == 1
+
+
+def test_bsp_checker_ignores_fully_durable_epochs():
+    epochs = {
+        (0, 0): epoch_record(0, 0, {0x100}),
+    }
+    history = [
+        PersistRecord(0, 10, 0x100, 0, 0, "data"),
+    ]
+    assert check_bsp_recoverable(synthetic_outcome(history, epochs)) == 0
+
+
+def test_queue_checker_detects_exposed_torn_entry():
+    """A durable head pointing at an entry whose body never persisted
+    must be flagged -- this is exactly the inconsistency the Figure 10
+    barrier placement prevents."""
+    m = checker_machine()
+    queue = QueueWorkload(thread_id=0, seed=1)
+    outcome = run_with_crash(m, [queue.ops(20)], 200_000)
+    # Forge a durable head one past what actually persisted.
+    head_line = queue.head_addr & ~63
+    values = outcome.image.values.setdefault(head_line, {})
+    tag, tid, count = values.get(queue.head_addr - head_line,
+                                 ("head", 0, 0))
+    values[queue.head_addr - head_line] = ("head", tid, count + 7)
+    with pytest.raises(ConsistencyViolation):
+        check_queue_recoverable(outcome, queue)

@@ -1,0 +1,44 @@
+"""Seed-robustness: the paper's qualitative findings must not depend on
+one lucky RNG stream."""
+
+import pytest
+
+from repro.harness.runner import Scale, run_bep
+from repro.sim.config import BarrierDesign
+
+SEEDS = [1, 7, 23]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", ["queue", "rbtree"])
+def test_lbpp_beats_lb_across_seeds(bench):
+    for seed in SEEDS:
+        lb = run_bep(bench, BarrierDesign.LB, scale=Scale.TINY,
+                     seed=seed, transactions=40)
+        lbpp = run_bep(bench, BarrierDesign.LB_PP, scale=Scale.TINY,
+                       seed=seed, transactions=40)
+        assert lbpp.throughput > lb.throughput * 0.99, (bench, seed)
+        assert lbpp.conflict_epoch_pct < lb.conflict_epoch_pct, (bench, seed)
+
+
+@pytest.mark.slow
+def test_conflict_dominance_is_seed_stable():
+    """LB conflict-flushes the vast majority of epochs at every seed
+    (the Figure 12 premise)."""
+    for seed in SEEDS:
+        result = run_bep("hash", BarrierDesign.LB, scale=Scale.TINY,
+                         seed=seed, transactions=40)
+        assert result.conflict_epoch_pct > 60, seed
+
+
+@pytest.mark.slow
+def test_throughput_variance_is_bounded():
+    """Run-to-run spread for a fixed design stays within a band small
+    enough for the normalized figures to be meaningful."""
+    values = [
+        run_bep("queue", BarrierDesign.LB_PP, scale=Scale.TINY,
+                seed=seed, transactions=40).throughput
+        for seed in SEEDS
+    ]
+    spread = (max(values) - min(values)) / min(values)
+    assert spread < 0.25, values

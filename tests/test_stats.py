@@ -1,0 +1,69 @@
+"""Tests for the statistics registry."""
+
+import pytest
+
+from repro.sim.stats import StatDomain, Stats, arithmetic_mean, geometric_mean
+
+
+def test_counter_bump_and_get():
+    dom = StatDomain("x")
+    dom.bump("hits")
+    dom.bump("hits", 4)
+    assert dom.get("hits") == 5
+    assert dom.get("misses") == 0
+
+
+def test_record_accumulates_mean_total_max():
+    dom = StatDomain("x")
+    for v in (10, 20, 60):
+        dom.record("lat", v)
+    assert dom.mean("lat") == 30
+    assert dom.total("lat") == 90
+    assert dom.count("lat") == 3
+    assert dom.maximum("lat") == 60
+
+
+def test_mean_of_unrecorded_key_is_zero():
+    dom = StatDomain("x")
+    assert dom.mean("nothing") == 0.0
+
+
+def test_stats_domain_registry_reuses_instances():
+    stats = Stats()
+    a = stats.domain("core0")
+    b = stats.domain("core0")
+    assert a is b
+
+
+def test_stats_total_sums_across_domains():
+    stats = Stats()
+    stats.domain("core0").bump("txns", 3)
+    stats.domain("core1").bump("txns", 4)
+    assert stats.total("txns") == 7
+
+
+def test_flatten_namespaces_keys():
+    stats = Stats()
+    stats.domain("llc").bump("hits", 2)
+    stats.domain("llc").record("wait", 10)
+    flat = stats.flatten()
+    assert flat["llc.hits"] == 2
+    assert flat["llc.wait.mean"] == 10
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        arithmetic_mean([])

@@ -1,0 +1,193 @@
+"""Tests for strand persistency (Pelley et al.'s third model).
+
+The paper evaluates strict and epoch persistency; strand persistency is
+the natural extension: a thread may divide its persists into *strands*
+that carry no mutual ordering, so independent work (separate queues,
+separate log partitions) persists concurrently instead of serializing
+behind one per-thread epoch order.
+"""
+
+import pytest
+
+from repro.recovery import check_epoch_order, run_with_crash
+from repro.recovery.crash import CrashOutcome, snapshot_epochs
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.system import Multicore
+from repro.workloads.base import Program, strand
+
+
+def machine(design=BarrierDesign.LB, track=False, **overrides):
+    defaults = dict(
+        barrier_design=design, persistency=PersistencyModel.BEP,
+    )
+    defaults.update(overrides)
+    return Multicore(MachineConfig.tiny(**defaults), track_values=track,
+                     track_persist_order=track, keep_epoch_log=track)
+
+
+def test_strand_op_validation():
+    with pytest.raises(ValueError):
+        strand(-1)
+
+
+def test_epochs_carry_their_strand():
+    m = machine(track=True)
+    p = Program()
+    p.store(0x1000, 8).barrier()               # strand 0, epoch 0
+    p.strand(1)
+    p.store(0x2000, 8).barrier()               # strand 1, epoch 1
+    p.strand(0)
+    p.store(0x3000, 8).barrier()               # strand 0, epoch 2
+    m.run([p])
+    epochs = sorted(
+        (e.seq, e.strand)
+        for e in m.managers[0].retired if e.num_stores
+    )
+    assert epochs == [(0, 0), (1, 1), (2, 0)]
+
+
+def test_cross_strand_epochs_persist_independently():
+    """A conflict on strand 1 must not force strand 0's backlog out."""
+    m = machine(track=True)
+    p = Program()
+    p.store(0x1000, 8).barrier()     # strand 0: stays lazily buffered
+    p.strand(1)
+    p.store(0x2000, 8).barrier()     # strand 1 epoch
+    p.store(0x2000, 8).barrier()     # intra conflict *within strand 1*
+    result = m.run([p], drain=False)
+    assert result.finished
+    assert result.intra_conflicts == 1
+    # Strand 1's first epoch was flushed by the conflict; strand 0's
+    # epoch is still buffered (lazily), persisting nothing.
+    persisted = [(r.core_id, r.epoch_seq) for r in m.image.history
+                 if r.kind == "data"]
+    assert (0, 1) in persisted
+    assert all(seq != 0 for _core, seq in persisted)
+
+
+def test_same_strand_order_still_enforced():
+    m = machine(track=True)
+    p = Program()
+    for i in range(4):
+        p.store(0x1000 + i * 64, 8).barrier()
+    # Conflict with the newest epoch: all four (same strand) must flush.
+    p.store(0x1000 + 3 * 64, 8).barrier()
+    m.run([p])
+    seqs = [r.epoch_seq for r in m.image.history if r.kind == "data"]
+    assert seqs == sorted(seqs)
+
+
+def test_strand_switch_is_ordered_through_write_buffer():
+    """Stores issued before a strand switch belong to the old strand
+    even if they are still in the write buffer at switch time."""
+    m = machine(track=True)
+    p = Program()
+    for i in range(6):
+        p.store(0x1000 + i * 64, 8)
+    p.strand(1)
+    for i in range(3):
+        p.store(0x5000 + i * 64, 8)
+    p.barrier()
+    p.strand(0)
+    p.barrier()
+    m.run([p])
+    by_strand = {}
+    for e in m.managers[0].retired:
+        by_strand.setdefault(e.strand, 0)
+        by_strand[e.strand] += e.num_stores
+    assert by_strand == {0: 6, 1: 3}
+
+
+def test_strands_unordered_in_persist_history():
+    """With lazy LB and a conflict only on the *second* strand, strand
+    1's epoch may persist before strand 0's earlier epoch -- legal under
+    strand persistency, and the checker must accept it."""
+    m = machine(track=True)
+    p = Program()
+    p.store(0x1000, 8).barrier()               # strand 0, seq 0
+    p.strand(1)
+    p.store(0x2000, 8).barrier()               # strand 1, seq 1
+    p.store(0x2000, 8).barrier()               # force strand 1 flush
+    m.run([p])                                  # drain flushes the rest
+    history = [(r.epoch_seq, r.line) for r in m.image.history
+               if r.kind == "data"]
+    # Strand 1's epoch (seq 1) persisted before strand 0's (seq 0).
+    seqs = [seq for seq, _line in history]
+    assert seqs.index(1) < seqs.index(0)
+    outcome = CrashOutcome(m.engine.now, m.image, snapshot_epochs(m))
+    check_epoch_order(outcome)  # must not raise
+
+
+def test_single_strand_behaviour_is_unchanged():
+    """A program that never issues STRAND ops behaves exactly as before
+    the strands feature existed (same cycles, same persists)."""
+    def run(with_noop_strand_ops):
+        m = machine(design=BarrierDesign.LB_PP)
+        p = Program()
+        for i in range(20):
+            if with_noop_strand_ops:
+                p.strand(0)                     # switching to self: no-op
+            p.store(0x1000 + (i % 4) * 64, 8).barrier()
+        result = m.run([p])
+        return result.cycles_durable, result.nvram_writes
+
+    assert run(False)[1] == run(True)[1]
+
+
+def test_strand_crash_consistency_property():
+    """Random-ish two-strand workload crashes at several points; the
+    strand-aware checker accepts every durable state."""
+    for crash in (800, 4000, 20000, 60000):
+        m = machine(design=BarrierDesign.LB_IDT, track=True)
+        p0 = Program()
+        for i in range(30):
+            p0.strand(i % 2)
+            p0.store(0x1000 + (i % 8) * 64, 8).barrier()
+        p1 = Program()
+        for i in range(30):
+            p1.compute(50)
+            p1.load(0x1000 + (i % 8) * 64)
+            p1.store(0x9000 + (i % 4) * 64, 8).barrier()
+        outcome = run_with_crash(m, [p0, p1], crash)
+        check_epoch_order(outcome)
+
+
+def test_strands_reduce_conflict_coupling():
+    """Two independent hot structures: in one strand, a conflict on
+    either flushes both; in two strands, each flushes alone.  The
+    two-strand run must persist no more (and usually fewer) epochs per
+    conflict."""
+    def run(use_strands):
+        m = machine(design=BarrierDesign.LB)
+        p = Program()
+        for i in range(40):
+            if use_strands:
+                p.strand(i % 2)
+            hot = 0x1000 if i % 2 == 0 else 0x8000
+            p.store(hot, 8)
+            p.store(0x20000 + i * 64, 8)
+            p.barrier()
+        result = m.run([p], drain=False)
+        return result.stats.total("epochs_persisted")
+
+    # Without strands the alternating hot-line conflicts drag the whole
+    # window along; with strands each chain is half as deep.
+    assert run(True) <= run(False)
+
+
+def test_arbiter_flushes_eligible_strand_past_ongoing_one():
+    """With strand 0's epoch still ongoing (no barrier yet), proactive
+    flushing must not be blocked from persisting strand 1's completed
+    epoch behind it in the window."""
+    m = machine(design=BarrierDesign.LB_PF, track=True)
+    p = Program()
+    p.store(0x1000, 8)                 # strand 0: never closed mid-run
+    p.strand(1)
+    p.store(0x2000, 8).barrier()       # strand 1: completes -> PF flush
+    p.strand(0)
+    p.compute(20_000)                  # give PF time while s0 is ongoing
+    p.store(0x1040, 8).barrier()
+    result = m.run([p], drain=False)
+    assert result.finished
+    persisted_lines = {r.line for r in m.image.history if r.kind == "data"}
+    assert 0x2000 in persisted_lines   # strand 1 persisted mid-run

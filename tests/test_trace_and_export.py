@@ -1,0 +1,113 @@
+"""Tests for the tracer and the figure-export helpers."""
+
+import pytest
+
+from repro.harness.export import render_bars, write_csv
+from repro.harness.report import FigureTable
+from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
+from repro.sim.trace import TraceRecord, Tracer
+from repro.system import Multicore
+from repro.workloads.base import Program
+
+
+def traced_run(design=BarrierDesign.LB_IDT, tracer=None):
+    config = MachineConfig.tiny(
+        barrier_design=design, persistency=PersistencyModel.BEP,
+    )
+    machine = Multicore(config, tracer=tracer)
+    p0 = Program().store(0x1000, 8).barrier().store(0x3000, 8).barrier()
+    p0.store(0x1000, 8).barrier()
+    p1 = Program().compute(2000).load(0x1000).store(0x5000, 8).barrier()
+    machine.run([p0, p1])
+    return machine
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+def test_tracer_records_conflicts_and_persists():
+    tracer = Tracer()
+    traced_run(tracer=tracer)
+    assert tracer.count("conflict") >= 2      # intra + inter
+    assert tracer.count("epoch_persist") >= 3
+    assert tracer.count("flush_start") >= 1
+    kinds = {r.kind for r in tracer.records}
+    assert "stall" in kinds
+
+
+def test_tracer_kind_filter():
+    tracer = Tracer(kinds={"epoch_persist"})
+    traced_run(tracer=tracer)
+    assert len(tracer) > 0
+    assert all(r.kind == "epoch_persist" for r in tracer.records)
+
+
+def test_tracer_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        Tracer(kinds={"nonsense"})
+
+
+def test_tracer_limit_drops_excess():
+    tracer = Tracer(limit=3)
+    traced_run(tracer=tracer)
+    assert len(tracer) == 3
+    assert tracer.dropped > 0
+
+
+def test_tracer_idt_edges_visible():
+    tracer = Tracer(kinds={"idt_edge"})
+    traced_run(design=BarrierDesign.LB_IDT, tracer=tracer)
+    assert tracer.count("idt_edge") >= 1
+
+
+def test_trace_record_str_and_dump():
+    record = TraceRecord(42, "conflict", 1, {"line": "0x1000"})
+    text = str(record)
+    assert "42" in text and "conflict" in text and "0x1000" in text
+    tracer = Tracer()
+    tracer.record(1, "stall", 0, target="E0.0")
+    assert "stall" in tracer.dump()
+
+
+def test_untraced_machine_runs_clean():
+    machine = traced_run(tracer=None)
+    assert machine.tracer is None
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def sample_table():
+    table = FigureTable("Sample", ["LB", "LB++"], summary="gmean")
+    table.add_row("hash", [1.0, 1.2])
+    table.add_row("queue", [1.0, 1.3])
+    return table
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(sample_table(), tmp_path / "out" / "fig.csv")
+    lines = path.read_text().strip().splitlines()
+    assert lines[0] == "benchmark,LB,LB++"
+    assert lines[1].startswith("hash,1,")
+    assert lines[-1].startswith("gmean,")
+
+
+def test_render_bars_contains_all_rows():
+    text = render_bars(sample_table(), width=20)
+    for token in ("hash", "queue", "gmean", "LB++", "1.300"):
+        assert token in text
+
+
+def test_render_bars_scales_to_peak():
+    table = FigureTable("T", ["A"], summary="none")
+    table.add_row("big", [10.0])
+    table.add_row("small", [5.0])
+    text = render_bars(table, width=10)
+    big_line = next(l for l in text.splitlines() if "10.000" in l)
+    small_line = next(l for l in text.splitlines() if "5.000" in l)
+    assert big_line.count("█") == 2 * small_line.count("█")
+
+
+def test_render_bars_baseline_marker():
+    text = render_bars(sample_table(), width=20, baseline=1.0)
+    assert "baseline 1" in text

@@ -1,0 +1,102 @@
+"""Tests for the synthetic application workload generators."""
+
+import pytest
+
+from repro.workloads.apps import APP_PROFILES, AppProfile, app_programs
+from repro.workloads.apps.generator import _SHARED_BASE
+from repro.workloads.base import OpKind
+
+PAPER_APPS = {
+    "canneal", "dedup", "freqmine",          # PARSEC
+    "barnes", "cholesky", "radix",           # SPLASH-2
+    "intruder", "ssca2", "vacation",         # STAMP
+}
+
+
+def test_all_paper_benchmarks_present():
+    assert set(APP_PROFILES) == PAPER_APPS
+
+
+def test_suites_assigned():
+    assert APP_PROFILES["canneal"].suite == "parsec"
+    assert APP_PROFILES["radix"].suite == "splash2"
+    assert APP_PROFILES["vacation"].suite == "stamp"
+
+
+def test_ssca2_is_the_write_intensive_fine_grained_outlier():
+    ssca2 = APP_PROFILES["ssca2"]
+    others = [p for name, p in APP_PROFILES.items() if name != "ssca2"]
+    assert all(ssca2.shared_fraction >= p.shared_fraction for p in others)
+    assert ssca2.store_fraction >= max(
+        p.store_fraction for p in others if p.name != "radix"
+    )
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(KeyError):
+        app_programs("blackscholes", 2, 100)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        AppProfile("x", "s", store_fraction=1.5, working_set_lines=10,
+                   hot_lines=5, hot_bias=0.5, shared_fraction=0.1,
+                   shared_lines=10, shared_write_fraction=0.1,
+                   compute_per_op=1)
+    with pytest.raises(ValueError):
+        AppProfile("x", "s", store_fraction=0.5, working_set_lines=10,
+                   hot_lines=50, hot_bias=0.5, shared_fraction=0.1,
+                   shared_lines=10, shared_write_fraction=0.1,
+                   compute_per_op=1)
+
+
+def test_programs_one_per_thread_deterministic():
+    a = [list(p) for p in app_programs("canneal", 2, 200, seed=4)]
+    b = [list(p) for p in app_programs("canneal", 2, 200, seed=4)]
+    for pa, pb in zip(a, b):
+        assert [(o.kind, o.addr) for o in pa] == [(o.kind, o.addr) for o in pb]
+
+
+def test_memory_op_count():
+    ops = list(app_programs("radix", 1, 500, seed=1)[0])
+    mem = [o for o in ops if o.kind in (OpKind.LOAD, OpKind.STORE)]
+    assert len(mem) == 500
+
+
+def test_store_fraction_approximately_respected():
+    profile = APP_PROFILES["radix"]
+    ops = [o for o in app_programs("radix", 1, 4000, seed=2)[0]
+           if o.kind in (OpKind.LOAD, OpKind.STORE)]
+    stores = sum(1 for o in ops if o.kind is OpKind.STORE)
+    observed = stores / len(ops)
+    # Shared traffic shifts the mix slightly; allow a generous band.
+    assert abs(observed - profile.store_fraction) < 0.08
+
+
+def test_threads_share_only_the_shared_pool():
+    progs = app_programs("ssca2", 2, 1500, seed=3)
+    streams = [
+        {o.addr & ~63 for o in p if o.kind in (OpKind.LOAD, OpKind.STORE)}
+        for p in progs
+    ]
+    overlap = streams[0] & streams[1]
+    assert overlap, "fine-grained sharing expected for ssca2"
+    assert all(addr >= _SHARED_BASE for addr in overlap)
+    assert all(addr < 0x4000_0000 for addr in overlap)
+
+
+def test_hot_lines_receive_most_private_stores():
+    profile = APP_PROFILES["freqmine"]
+    ops = [o for o in app_programs("freqmine", 1, 6000, seed=5)[0]
+           if o.kind is OpKind.STORE and o.addr >= 0x4000_0000]
+    hot_limit = 0x4000_0000 + profile.hot_lines * 64
+    hot = sum(1 for o in ops if o.addr < hot_limit)
+    assert hot / len(ops) > profile.hot_bias - 0.1
+
+
+def test_no_barriers_in_bsp_streams():
+    """The paper runs these benchmarks unmodified; barriers come from
+    hardware, never the trace."""
+    for name in PAPER_APPS:
+        ops = list(app_programs(name, 1, 300, seed=1)[0])
+        assert all(o.kind is not OpKind.BARRIER for o in ops), name

@@ -1,0 +1,78 @@
+"""Tests for the op model and program builders."""
+
+import pytest
+
+from repro.workloads.base import (
+    Op,
+    OpKind,
+    Program,
+    barrier,
+    compute,
+    load,
+    load_span,
+    span_ops,
+    store,
+    store_span,
+    txn_mark,
+)
+
+
+def test_op_constructors():
+    op = load(0x1000, 16)
+    assert op.kind is OpKind.LOAD and op.size == 16
+    op = store(0x1000, 8, value="v")
+    assert op.kind is OpKind.STORE and op.value == "v"
+    assert barrier().kind is OpKind.BARRIER
+    assert compute(10).cycles == 10
+    assert txn_mark().kind is OpKind.TXN_MARK
+
+
+def test_access_needs_positive_size():
+    with pytest.raises(ValueError):
+        Op(OpKind.LOAD, addr=0, size=0)
+    with pytest.raises(ValueError):
+        Op(OpKind.STORE, addr=0, size=-1)
+
+
+def test_compute_needs_nonnegative_cycles():
+    with pytest.raises(ValueError):
+        Op(OpKind.COMPUTE, cycles=-1)
+    assert Op(OpKind.COMPUTE, cycles=0).cycles == 0
+
+
+def test_span_ops_split_on_line_boundaries():
+    ops = list(span_ops(OpKind.STORE, 60, 16, 64))
+    assert [(o.addr, o.size) for o in ops] == [(60, 4), (64, 12)]
+
+
+def test_span_ops_aligned_object():
+    ops = list(store_span(0x1000, 512, 64, value="x"))
+    assert len(ops) == 8
+    assert all(o.size == 64 and o.value == "x" for o in ops)
+    assert [o.addr for o in ops] == [0x1000 + i * 64 for i in range(8)]
+
+
+def test_load_span():
+    ops = list(load_span(0x1000, 100, 64))
+    assert [o.size for o in ops] == [64, 36]
+    assert all(o.kind is OpKind.LOAD for o in ops)
+
+
+def test_program_builder_chains():
+    p = (Program().load(0x1000).store(0x2000, 8, value="v")
+         .barrier().compute(5).txn_mark())
+    kinds = [o.kind for o in p]
+    assert kinds == [OpKind.LOAD, OpKind.STORE, OpKind.BARRIER,
+                     OpKind.COMPUTE, OpKind.TXN_MARK]
+    assert len(p) == 5
+
+
+def test_program_extend():
+    p = Program().extend(store_span(0, 128, 64))
+    assert len(p) == 2
+
+
+def test_ops_are_immutable():
+    op = load(0x1000)
+    with pytest.raises(AttributeError):
+        op.addr = 0x2000
