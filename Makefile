@@ -1,0 +1,29 @@
+# Convenience targets mirroring what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-smoke test-slow bench figures clean-cache
+
+# Tier-1: the full fast suite (includes the parallel sweep smoke tests).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Just the tiny-scale parallel sweep smoke tests (executor determinism).
+test-smoke:
+	$(PYTHON) -m pytest -x -q -m sweep_smoke
+
+# The long end-to-end figure checks.
+test-slow:
+	$(PYTHON) -m pytest -q -m slow
+
+# Time the sweep executor (serial vs parallel vs warm cache) and
+# refresh BENCH_sweep.json.
+bench:
+	$(PYTHON) -m repro bench --jobs 4
+
+figures:
+	$(PYTHON) -m repro figures all --scale small
+
+clean-cache:
+	rm -rf .repro-cache

@@ -1,0 +1,17 @@
+#!/usr/bin/env python3
+"""Time the sweep executor (serial vs parallel vs warm cache) and write
+``BENCH_sweep.json``.  Thin wrapper over :mod:`repro.harness.bench` so
+it runs without installing the package::
+
+    python scripts/bench_sweep.py --jobs 4
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

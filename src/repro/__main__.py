@@ -5,7 +5,10 @@ Subcommands:
 * ``run``     -- run one workload on one machine configuration and print
   the result (throughput, conflicts, NVRAM traffic).
 * ``figures`` -- regenerate the paper's figures (delegates to
-  :mod:`repro.harness.experiments`).
+  :mod:`repro.harness.experiments`; sweeps fan out over ``--jobs``
+  worker processes and reuse cached results from ``.repro-cache/``).
+* ``bench``   -- time the sweep executor serial vs parallel vs warm
+  cache and write ``BENCH_sweep.json``.
 * ``crash``   -- crash a workload at a given cycle, check consistency,
   and (for BSP) perform undo-log recovery.
 * ``inspect`` -- print the machine configuration at each scale.
@@ -14,7 +17,8 @@ Examples::
 
     python -m repro run --workload queue --design LB++ --scale small
     python -m repro run --workload ssca2 --model BSP --design LB
-    python -m repro figures fig11 fig12 --scale tiny
+    python -m repro figures fig11 fig12 --scale tiny --jobs 4
+    python -m repro bench --jobs 4
     python -m repro crash --workload queue --cycle 20000
     python -m repro inspect --scale paper
 """
@@ -84,8 +88,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.harness.experiments import main as experiments_main
     argv = list(args.figures) + ["--scale", args.scale,
-                                 "--seed", str(args.seed)]
+                                 "--seed", str(args.seed),
+                                 "--cache-dir", args.cache_dir]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.refresh:
+        argv.append("--refresh")
     return experiments_main(argv)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import run_bench
+    run_bench(jobs=args.jobs, seed=args.seed, output=args.output)
+    return 0
 
 
 def cmd_crash(args: argparse.Namespace) -> int:
@@ -203,7 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", default="small",
                        choices=[s.value for s in Scale])
     fig_p.add_argument("--seed", type=int, default=1)
+    from repro.harness.experiments import add_executor_args
+    add_executor_args(fig_p)
     fig_p.set_defaults(func=cmd_figures)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the sweep executor (writes BENCH_sweep.json)"
+    )
+    bench_p.add_argument("--jobs", type=int, default=4)
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--output", default="BENCH_sweep.json")
+    bench_p.set_defaults(func=cmd_bench)
 
     crash_p = sub.add_parser("crash", help="crash + recovery demo")
     crash_p.add_argument("--workload", default="queue")

@@ -1,0 +1,144 @@
+"""Sweep-executor benchmark: serial vs parallel vs warm cache.
+
+Times a fixed tiny-scale multi-figure sweep three ways --
+
+* **serial**:   ``jobs=1``, no cache (the pre-executor baseline);
+* **parallel**: ``jobs=N``, no cache (process-pool fan-out);
+* **warm**:     ``jobs=N`` against a freshly populated result cache
+  (every run a hit);
+
+-- and writes the wall-clock numbers, speedups, and cache hit counts to
+``BENCH_sweep.json`` so the performance trajectory is tracked across
+PRs.  Runnable as ``python -m repro bench`` or
+``python scripts/bench_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import RunSpec, run_specs
+from repro.harness.experiments import (
+    bep_sweep_plan,
+    fig13_plan,
+    fig14_plan,
+)
+from repro.harness.runner import Scale
+
+DEFAULT_OUTPUT = "BENCH_sweep.json"
+
+# Short run lengths: the benchmark measures the executor, not the
+# simulator, so each run only needs to be long enough to dominate
+# process-pool overhead.
+_BENCH_TRANSACTIONS = 20
+_BENCH_MEM_OPS = 1500
+_BENCH_APPS = ("radix", "cholesky", "ssca2")
+
+
+def bench_specs(seed: int = 1) -> List[RunSpec]:
+    """The fixed tiny-scale multi-figure sweep that gets timed."""
+    seen = {}
+    for plan in (
+        bep_sweep_plan(Scale.TINY, seed, transactions=_BENCH_TRANSACTIONS),
+        fig13_plan(Scale.TINY, seed, mem_ops=_BENCH_MEM_OPS,
+                   apps=_BENCH_APPS),
+        fig14_plan(Scale.TINY, seed, mem_ops=_BENCH_MEM_OPS,
+                   apps=_BENCH_APPS),
+    ):
+        for spec in plan[0]:
+            seen.setdefault(spec, None)
+    return list(seen)
+
+
+def _timed(specs: List[RunSpec], jobs: int,
+           cache: Optional[ResultCache]) -> float:
+    start = time.perf_counter()
+    run_specs(specs, jobs=jobs, cache=cache)
+    return time.perf_counter() - start
+
+
+def run_bench(jobs: int = 4, seed: int = 1,
+              output: str = DEFAULT_OUTPUT) -> dict:
+    specs = bench_specs(seed)
+    cpu_count = os.cpu_count() or 1
+    print(f"[bench] {len(specs)} runs, tiny scale, jobs={jobs}, "
+          f"{cpu_count} cpu(s)")
+
+    serial_s = _timed(specs, jobs=1, cache=None)
+    print(f"[bench] serial (jobs=1, no cache):   {serial_s:7.2f}s")
+
+    parallel_s = _timed(specs, jobs=jobs, cache=None)
+    print(f"[bench] parallel (jobs={jobs}, no cache): {parallel_s:7.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        run_specs(specs, jobs=jobs, cache=cache)  # populate
+        cache.hits = cache.misses = 0
+        warm_s = _timed(specs, jobs=jobs, cache=cache)
+        warm_hits, warm_misses = cache.hits, cache.misses
+    print(f"[bench] warm cache (jobs={jobs}):        {warm_s:7.2f}s "
+          f"({warm_hits}/{len(specs)} hits)")
+
+    record = {
+        "sweep": {
+            "scale": "tiny",
+            "runs": len(specs),
+            "seed": seed,
+            "transactions": _BENCH_TRANSACTIONS,
+            "mem_ops": _BENCH_MEM_OPS,
+            "apps": list(_BENCH_APPS),
+        },
+        "machine": {
+            "cpu_count": cpu_count,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "jobs": jobs,
+        "wall_seconds": {
+            "serial": round(serial_s, 3),
+            "parallel": round(parallel_s, 3),
+            "warm_cache": round(warm_s, 3),
+        },
+        "speedup": {
+            "parallel_vs_serial": round(serial_s / parallel_s, 3)
+            if parallel_s else None,
+            "warm_cache_vs_serial": round(serial_s / warm_s, 3)
+            if warm_s else None,
+        },
+        "cache": {
+            "hits": warm_hits,
+            "misses": warm_misses,
+            "hit_rate": round(warm_hits / len(specs), 3) if specs else None,
+        },
+    }
+    path = Path(output)
+    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {path}")
+    return record
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the sweep executor: serial vs parallel vs "
+                    "warm cache."
+    )
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count (default 4)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"result file (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    run_bench(jobs=args.jobs, seed=args.seed, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Content-addressed disk cache for sweep results.
+
+A simulation run is a pure function of its inputs: the machine
+configuration, the workload parameters, and the seed.  The cache keys
+each :class:`~repro.harness.executor.RunSummary` by a SHA-256 over the
+canonical JSON form of exactly those inputs, plus a code-version salt --
+so a result is reused only while nothing that could change it has
+changed, and bumping :data:`CODE_VERSION` invalidates the whole cache
+when the simulator's behaviour changes.
+
+Entries live as individual JSON files under ``.repro-cache/`` (one file
+per key, atomically written), so concurrent sweeps and pool workers can
+share a cache directory without locking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.harness.executor import RunSpec, RunSummary
+from repro.sim.config import MachineConfig
+
+# Bump whenever a simulator change can alter run results; every cached
+# entry keyed under the old salt becomes unreachable.
+CODE_VERSION = "sweep-v1"
+
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def canonical_config(config: MachineConfig) -> Dict[str, Any]:
+    """A JSON-stable dict of every config field (enums as values)."""
+    out: Dict[str, Any] = {}
+    for fld in dataclasses.fields(config):
+        value = getattr(config, fld.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        out[fld.name] = value
+    return out
+
+
+def spec_key(spec: RunSpec, salt: str = CODE_VERSION) -> str:
+    """SHA-256 fingerprint of everything that determines a run's result."""
+    payload = {
+        "salt": salt,
+        "config": canonical_config(spec.resolved_config()),
+        "workload": spec.workload_params(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk-backed map from :class:`RunSpec` to :class:`RunSummary`.
+
+    ``hits`` / ``misses`` count ``get`` outcomes so drivers (and the
+    bench harness) can report the cache's effectiveness.
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR,
+                 salt: str = CODE_VERSION) -> None:
+        self.root = Path(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, spec: RunSpec) -> str:
+        return spec_key(spec, self.salt)
+
+    def _path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[RunSummary]:
+        path = self._path_for(self.key_for(spec))
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            summary = RunSummary.from_dict(data["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, truncated, or stale-format entry: treat as a miss
+            # (a refresh will overwrite it).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, spec: RunSpec, summary: RunSummary) -> Path:
+        key = self.key_for(spec)
+        path = self._path_for(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "salt": self.salt,
+            "spec": spec.describe(),
+            "summary": summary.to_dict(),
+        }
+        # Atomic publish: concurrent writers of the same key race
+        # harmlessly (both write identical content).
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=1, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

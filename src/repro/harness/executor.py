@@ -1,0 +1,299 @@
+"""Parallel sweep executor.
+
+Every figure of the paper is a sweep over independent, deterministic
+``Multicore`` runs.  This module turns a sweep into data: a list of
+:class:`RunSpec` values describing each run, fanned out across a process
+pool and reduced to :class:`RunSummary` carriers in the order the specs
+were given, regardless of completion order.
+
+* :class:`RunSpec` -- a frozen, hashable description of one run
+  (workload, design, scale, seed, model, epoch size, config overrides).
+  Two equal specs produce bit-identical summaries, which is what makes
+  the content-addressed cache (:mod:`repro.harness.cache`) sound.
+* :class:`RunSummary` -- the slim serializable subset of
+  :class:`~repro.system.RunResult` the figures need.  A full
+  ``RunResult`` drags the whole ``Stats`` registry (and through it the
+  machine) across the process boundary; the summary is a handful of
+  ints.
+* :func:`run_specs` -- execute a spec list.  ``jobs=1`` runs fully
+  in-process (the debugging path); ``jobs>1`` uses a
+  ``ProcessPoolExecutor``.  An optional result cache is consulted
+  before dispatch and populated afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.harness.runner import (
+    Scale,
+    bep_machine_config,
+    bsp_machine_config,
+    run_bep,
+    run_bsp,
+    scale_params,
+)
+from repro.sim.config import (
+    BarrierDesign,
+    FlushMode,
+    MachineConfig,
+    PersistencyModel,
+)
+from repro.system import RunResult
+
+_BSP_DEFAULT_EPOCH_STORES = 10_000
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, fully described.
+
+    ``overrides`` holds extra :class:`MachineConfig` fields as a sorted
+    tuple of ``(name, value)`` pairs so the spec stays hashable and its
+    canonical form does not depend on keyword order.
+    """
+
+    kind: str                     # "bep" | "bsp"
+    workload: str
+    design: BarrierDesign
+    scale: Scale
+    seed: int = 1
+    model: Optional[PersistencyModel] = None
+    epoch_stores: Optional[int] = None
+    undo_logging: bool = True
+    flush_mode: FlushMode = FlushMode.CLWB
+    transactions: Optional[int] = None    # BEP run length (None = scale default)
+    mem_ops: Optional[int] = None         # BSP run length (None = scale default)
+    overrides: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bep", "bsp"):
+            raise ValueError(f"unknown run kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def bep(cls, benchmark: str, design: BarrierDesign, scale: Scale,
+            seed: int = 1, transactions: Optional[int] = None,
+            flush_mode: FlushMode = FlushMode.CLWB,
+            **overrides: Any) -> "RunSpec":
+        return cls(
+            kind="bep", workload=benchmark, design=design, scale=scale,
+            seed=seed, model=PersistencyModel.BEP, flush_mode=flush_mode,
+            transactions=transactions,
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+    @classmethod
+    def bsp(cls, app: str, design: BarrierDesign, scale: Scale,
+            seed: int = 1, epoch_stores: Optional[int] = None,
+            undo_logging: bool = True,
+            model: PersistencyModel = PersistencyModel.BSP,
+            mem_ops: Optional[int] = None,
+            **overrides: Any) -> "RunSpec":
+        return cls(
+            kind="bsp", workload=app, design=design, scale=scale,
+            seed=seed, model=model, epoch_stores=epoch_stores,
+            undo_logging=undo_logging, mem_ops=mem_ops,
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolved_config(self) -> MachineConfig:
+        """The exact :class:`MachineConfig` this spec runs under."""
+        overrides = dict(self.overrides)
+        if self.kind == "bep":
+            return bep_machine_config(
+                self.scale, self.design, self.flush_mode, **overrides
+            )
+        return bsp_machine_config(
+            self.scale, self.design,
+            epoch_stores=self._resolved_epoch_stores(),
+            undo_logging=self.undo_logging,
+            persistency=self.model or PersistencyModel.BSP,
+            **overrides,
+        )
+
+    def _resolved_epoch_stores(self) -> int:
+        if self.epoch_stores is not None:
+            return self.epoch_stores
+        return _BSP_DEFAULT_EPOCH_STORES
+
+    def workload_params(self) -> Dict[str, Any]:
+        """Workload-side inputs, with scale defaults resolved, for the
+        cache key."""
+        params = scale_params(self.scale)
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "workload": self.workload,
+            "scale": self.scale.value,
+            "seed": self.seed,
+            "threads": params.threads,
+        }
+        if self.kind == "bep":
+            out["transactions"] = (
+                self.transactions if self.transactions is not None
+                else params.bep_transactions
+            )
+        else:
+            out["mem_ops"] = (
+                self.mem_ops if self.mem_ops is not None
+                else params.bsp_mem_ops
+            )
+        return out
+
+    def describe(self) -> str:
+        model = (self.model or PersistencyModel.BEP).value
+        return (f"{self.kind}:{self.workload}/{self.design.value}"
+                f"/{model}@{self.scale.value} seed={self.seed}")
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """The serializable subset of :class:`~repro.system.RunResult` the
+    figures and the result cache need.
+
+    All fields are plain ints/bools, so equality is bit-exact and JSON
+    round-trips losslessly -- both properties the determinism tests and
+    the content-addressed cache rely on.
+    """
+
+    workload: str
+    design: str
+    cycles_visible: Optional[int]
+    cycles_durable: Optional[int]
+    transactions: int
+    epochs_persisted: int
+    epochs_conflict_flushed: int
+    intra_conflicts: int
+    inter_conflicts: int
+    nvram_writes: int
+    finished: bool
+
+    # -- derived metrics, mirroring RunResult --------------------------
+    @property
+    def throughput(self) -> float:
+        if not self.cycles_visible:
+            return 0.0
+        return 1000.0 * self.transactions / self.cycles_visible
+
+    @property
+    def total_epochs(self) -> int:
+        return self.epochs_persisted
+
+    @property
+    def conflict_epoch_pct(self) -> float:
+        if not self.epochs_persisted:
+            return 0.0
+        return 100.0 * self.epochs_conflict_flushed / self.epochs_persisted
+
+    # -- construction / serialization ----------------------------------
+    @classmethod
+    def from_result(cls, spec: RunSpec, result: RunResult) -> "RunSummary":
+        return cls(
+            workload=spec.workload,
+            design=spec.design.value,
+            cycles_visible=result.cycles_visible,
+            cycles_durable=result.cycles_durable,
+            transactions=result.transactions,
+            epochs_persisted=result.total_epochs,
+            epochs_conflict_flushed=result.stats.total(
+                "epochs_conflict_flushed"
+            ),
+            intra_conflicts=result.intra_conflicts,
+            inter_conflicts=result.inter_conflicts,
+            nvram_writes=result.nvram_writes,
+            finished=result.finished,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSummary":
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute(spec: RunSpec) -> RunSummary:
+    """Run one spec in this process and summarize the result.
+
+    Module-level so it pickles cleanly into pool workers.
+    """
+    overrides = dict(spec.overrides)
+    if spec.kind == "bep":
+        result = run_bep(
+            spec.workload, spec.design, scale=spec.scale, seed=spec.seed,
+            transactions=spec.transactions, flush_mode=spec.flush_mode,
+            **overrides,
+        )
+    else:
+        result = run_bsp(
+            spec.workload, spec.design, scale=spec.scale, seed=spec.seed,
+            epoch_stores=spec._resolved_epoch_stores(),
+            undo_logging=spec.undo_logging,
+            persistency=spec.model or PersistencyModel.BSP,
+            mem_ops=spec.mem_ops, **overrides,
+        )
+    return RunSummary.from_result(spec, result)
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def run_specs(
+    specs: List[RunSpec],
+    jobs: Optional[int] = None,
+    cache=None,
+    refresh: bool = False,
+) -> List[RunSummary]:
+    """Execute ``specs`` and return summaries in spec order.
+
+    ``jobs=None`` uses every core; ``jobs=1`` runs serially in-process
+    (no pool, easiest to debug/profile).  ``cache`` is any object with
+    ``get(spec) -> Optional[RunSummary]`` and ``put(spec, summary)``
+    (see :class:`repro.harness.cache.ResultCache`); with ``refresh`` the
+    cache is only written, never read.
+
+    Results are deterministic: the simulator is seeded and single-run
+    deterministic, and completion order never reorders the output, so
+    any ``jobs`` value yields the same list.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    summaries: List[Optional[RunSummary]] = [None] * len(specs)
+
+    misses: List[int] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if (cache is not None and not refresh) else None
+        if hit is not None:
+            summaries[index] = hit
+        else:
+            misses.append(index)
+
+    if misses:
+        if jobs == 1 or len(misses) == 1:
+            for index in misses:
+                summaries[index] = execute(specs[index])
+        else:
+            workers = min(jobs, len(misses))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute, specs[index]): index
+                    for index in misses
+                }
+                for future in as_completed(futures):
+                    summaries[futures[future]] = future.result()
+        if cache is not None:
+            for index in misses:
+                cache.put(specs[index], summaries[index])
+
+    return summaries  # type: ignore[return-value]

@@ -2,10 +2,15 @@
 
 Each ``figNN`` function runs the corresponding sweep and returns
 :class:`~repro.harness.report.FigureTable` objects whose rows mirror the
-paper's bar groups.  The module is runnable::
+paper's bar groups.  Every sweep is expressed as a list of
+:class:`~repro.harness.executor.RunSpec` values and executed through
+:func:`~repro.harness.executor.run_specs`, so independent runs fan out
+across a process pool (``--jobs``) and completed results are served from
+the content-addressed disk cache (``.repro-cache/``, disable with
+``--no-cache``, recompute with ``--refresh``).  The module is runnable::
 
     python -m repro.harness.experiments fig11 fig12 --scale small
-    python -m repro.harness.experiments all --scale tiny
+    python -m repro.harness.experiments all --scale tiny --jobs 4
 """
 
 from __future__ import annotations
@@ -13,15 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.harness.executor import RunSpec, RunSummary, run_specs
 from repro.harness.report import FigureTable, normalize_rows
 from repro.harness.runner import (
     BSP_EPOCH_SIZES,
     Scale,
     default_bsp_epoch_size,
-    run_bep,
-    run_bsp,
 )
 from repro.sim.config import BarrierDesign, FlushMode, PersistencyModel
 from repro.workloads.apps.profiles import APP_NAMES
@@ -35,37 +40,75 @@ BEP_DESIGNS = [
     BarrierDesign.LB_PP,
 ]
 
+# A plan pairs each spec with the key the figure indexes it by.
+_Plan = Tuple[List[RunSpec], List[tuple]]
+
+
+def _np_baseline_spec(app: str, scale: Scale, seed: int,
+                      mem_ops: Optional[int]) -> RunSpec:
+    """The shared NP baseline run (identical across fig13/fig14/WT, so
+    the cache computes it once per app)."""
+    return RunSpec.bsp(
+        app, BarrierDesign.LB, scale, seed=seed,
+        model=PersistencyModel.NP, mem_ops=mem_ops,
+    )
+
+
+def _run_plan(plan: _Plan, jobs: Optional[int], cache: Optional[ResultCache],
+              refresh: bool) -> Dict[tuple, RunSummary]:
+    specs, keys = plan
+    summaries = run_specs(specs, jobs=jobs, cache=cache, refresh=refresh)
+    return dict(zip(keys, summaries))
+
 
 # ----------------------------------------------------------------------
 # Figures 11 and 12: BEP microbenchmarks
 # ----------------------------------------------------------------------
+def bep_sweep_plan(scale: Scale, seed: int = 1,
+                   transactions: Optional[int] = None,
+                   benchmarks: Optional[Sequence[str]] = None) -> _Plan:
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for bench in benchmarks or BEP_BENCHMARKS:
+        for design in BEP_DESIGNS:
+            specs.append(RunSpec.bep(
+                bench, design, scale, seed=seed, transactions=transactions,
+            ))
+            keys.append((bench, design.value))
+    return specs, keys
+
+
 def run_bep_sweep(
     scale: Scale = Scale.SMALL,
     seed: int = 1,
     transactions: Optional[int] = None,
     benchmarks: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    refresh: bool = False,
 ) -> Dict[str, Dict[str, Tuple[float, float]]]:
     """benchmark -> design -> (throughput, conflict_pct)."""
+    by_key = _run_plan(
+        bep_sweep_plan(scale, seed, transactions, benchmarks),
+        jobs, cache, refresh,
+    )
     results: Dict[str, Dict[str, Tuple[float, float]]] = {}
-    for bench in benchmarks or BEP_BENCHMARKS:
-        per_design: Dict[str, Tuple[float, float]] = {}
-        for design in BEP_DESIGNS:
-            result = run_bep(
-                bench, design, scale=scale, seed=seed,
-                transactions=transactions,
-            )
-            per_design[design.value] = (
-                result.throughput, result.conflict_epoch_pct
-            )
-        results[bench] = per_design
+    for (bench, design), summary in by_key.items():
+        results.setdefault(bench, {})[design] = (
+            summary.throughput, summary.conflict_epoch_pct
+        )
     return results
 
 
 def fig11(scale: Scale = Scale.SMALL, seed: int = 1,
           transactions: Optional[int] = None,
-          sweep: Optional[Dict] = None) -> FigureTable:
+          sweep: Optional[Dict] = None,
+          jobs: Optional[int] = None,
+          cache: Optional[ResultCache] = None,
+          refresh: bool = False) -> FigureTable:
     """Figure 11: BEP transaction throughput normalized to LB."""
-    sweep = sweep or run_bep_sweep(scale, seed, transactions)
+    sweep = sweep or run_bep_sweep(scale, seed, transactions,
+                                   jobs=jobs, cache=cache, refresh=refresh)
     raw = {
         bench: {design: vals[0] for design, vals in row.items()}
         for bench, row in sweep.items()
@@ -82,9 +125,13 @@ def fig11(scale: Scale = Scale.SMALL, seed: int = 1,
 
 def fig12(scale: Scale = Scale.SMALL, seed: int = 1,
           transactions: Optional[int] = None,
-          sweep: Optional[Dict] = None) -> FigureTable:
+          sweep: Optional[Dict] = None,
+          jobs: Optional[int] = None,
+          cache: Optional[ResultCache] = None,
+          refresh: bool = False) -> FigureTable:
     """Figure 12: percentage of epochs flushed because of a conflict."""
-    sweep = sweep or run_bep_sweep(scale, seed, transactions)
+    sweep = sweep or run_bep_sweep(scale, seed, transactions,
+                                   jobs=jobs, cache=cache, refresh=refresh)
     table = FigureTable(
         "Figure 12: % conflicting epochs",
         [d.value for d in BEP_DESIGNS], summary="amean",
@@ -99,9 +146,30 @@ def fig12(scale: Scale = Scale.SMALL, seed: int = 1,
 # ----------------------------------------------------------------------
 # Figure 13: BSP epoch-size sweep
 # ----------------------------------------------------------------------
+def fig13_plan(scale: Scale, seed: int = 1,
+               mem_ops: Optional[int] = None,
+               apps: Optional[Sequence[str]] = None) -> _Plan:
+    sizes = BSP_EPOCH_SIZES[scale]
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for app in apps or APP_NAMES:
+        specs.append(_np_baseline_spec(app, scale, seed, mem_ops))
+        keys.append((app, "NP"))
+        for epoch_stores in sizes:
+            specs.append(RunSpec.bsp(
+                app, BarrierDesign.LB, scale, seed=seed,
+                epoch_stores=epoch_stores, mem_ops=mem_ops,
+            ))
+            keys.append((app, epoch_stores))
+    return specs, keys
+
+
 def fig13(scale: Scale = Scale.SMALL, seed: int = 1,
           mem_ops: Optional[int] = None,
-          apps: Optional[List[str]] = None) -> FigureTable:
+          apps: Optional[List[str]] = None,
+          jobs: Optional[int] = None,
+          cache: Optional[ResultCache] = None,
+          refresh: bool = False) -> FigureTable:
     """Figure 13: BSP execution time vs epoch size, normalized to NP.
 
     Time-to-durability is used on both sides of the ratio so that the
@@ -110,24 +178,20 @@ def fig13(scale: Scale = Scale.SMALL, seed: int = 1,
     runs the visible and durable ratios converge.
     """
     sizes = BSP_EPOCH_SIZES[scale]
+    by_key = _run_plan(
+        fig13_plan(scale, seed, mem_ops, apps), jobs, cache, refresh
+    )
     table = FigureTable(
         "Figure 13: execution time normalized to NP (epoch-size sweep, "
         f"sizes {sizes})",
         [f"LB{n}" for n in sizes], summary="gmean",
     )
     for app in apps or APP_NAMES:
-        baseline = run_bsp(
-            app, BarrierDesign.LB, scale=scale, seed=seed,
-            persistency=PersistencyModel.NP, mem_ops=mem_ops,
-        )
-        row = []
-        for epoch_stores in sizes:
-            result = run_bsp(
-                app, BarrierDesign.LB, scale=scale, seed=seed,
-                epoch_stores=epoch_stores, mem_ops=mem_ops,
-            )
-            row.append(result.cycles_durable / baseline.cycles_durable)
-        table.add_row(app, row)
+        baseline = by_key[(app, "NP")]
+        table.add_row(app, [
+            by_key[(app, n)].cycles_durable / baseline.cycles_durable
+            for n in sizes
+        ])
     return table
 
 
@@ -136,11 +200,41 @@ def fig13(scale: Scale = Scale.SMALL, seed: int = 1,
 # ----------------------------------------------------------------------
 FIG14_COLUMNS = ["LB", "LB+IDT", "LB++", "LB++NOLOG"]
 
+_FIG14_VARIANTS = [
+    ("LB", BarrierDesign.LB, True),
+    ("LB+IDT", BarrierDesign.LB_IDT, True),
+    ("LB++", BarrierDesign.LB_PP, True),
+    ("LB++NOLOG", BarrierDesign.LB_PP, False),
+]
+
+
+def fig14_plan(scale: Scale, seed: int = 1,
+               mem_ops: Optional[int] = None,
+               epoch_stores: Optional[int] = None,
+               apps: Optional[Sequence[str]] = None) -> _Plan:
+    if epoch_stores is None:
+        epoch_stores = default_bsp_epoch_size(scale)
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for app in apps or APP_NAMES:
+        specs.append(_np_baseline_spec(app, scale, seed, mem_ops))
+        keys.append((app, "NP"))
+        for label, design, logging in _FIG14_VARIANTS:
+            specs.append(RunSpec.bsp(
+                app, design, scale, seed=seed, epoch_stores=epoch_stores,
+                undo_logging=logging, mem_ops=mem_ops,
+            ))
+            keys.append((app, label))
+    return specs, keys
+
 
 def fig14(scale: Scale = Scale.SMALL, seed: int = 1,
           mem_ops: Optional[int] = None,
           epoch_stores: Optional[int] = None,
-          apps: Optional[List[str]] = None) -> Tuple[FigureTable, float]:
+          apps: Optional[List[str]] = None,
+          jobs: Optional[int] = None,
+          cache: Optional[ResultCache] = None,
+          refresh: bool = False) -> Tuple[FigureTable, float]:
     """Figure 14: BSP execution time normalized to NP, per design.
 
     Also returns the inter-thread share of conflicts (the paper reports
@@ -148,34 +242,25 @@ def fig14(scale: Scale = Scale.SMALL, seed: int = 1,
     """
     if epoch_stores is None:
         epoch_stores = default_bsp_epoch_size(scale)
+    by_key = _run_plan(
+        fig14_plan(scale, seed, mem_ops, epoch_stores, apps),
+        jobs, cache, refresh,
+    )
     table = FigureTable(
         "Figure 14: execution time normalized to NP (designs, "
         f"epoch={epoch_stores})",
         FIG14_COLUMNS, summary="gmean",
     )
     inter = intra = 0
-    variants = [
-        ("LB", BarrierDesign.LB, True),
-        ("LB+IDT", BarrierDesign.LB_IDT, True),
-        ("LB++", BarrierDesign.LB_PP, True),
-        ("LB++NOLOG", BarrierDesign.LB_PP, False),
-    ]
     for app in apps or APP_NAMES:
-        baseline = run_bsp(
-            app, BarrierDesign.LB, scale=scale, seed=seed,
-            persistency=PersistencyModel.NP, mem_ops=mem_ops,
-        )
+        baseline = by_key[(app, "NP")]
         row = []
-        for _, design, logging in variants:
-            result = run_bsp(
-                app, design, scale=scale, seed=seed,
-                epoch_stores=epoch_stores, undo_logging=logging,
-                mem_ops=mem_ops,
-            )
-            row.append(result.cycles_durable / baseline.cycles_durable)
-            if design is BarrierDesign.LB:
-                inter += result.inter_conflicts
-                intra += result.intra_conflicts
+        for label, design, _logging in _FIG14_VARIANTS:
+            summary = by_key[(app, label)]
+            row.append(summary.cycles_durable / baseline.cycles_durable)
+            if design is BarrierDesign.LB and label == "LB":
+                inter += summary.inter_conflicts
+                intra += summary.intra_conflicts
         table.add_row(app, row)
     total = inter + intra
     inter_share = 100.0 * inter / total if total else 0.0
@@ -185,46 +270,77 @@ def fig14(scale: Scale = Scale.SMALL, seed: int = 1,
 # ----------------------------------------------------------------------
 # In-text ablations (section 7)
 # ----------------------------------------------------------------------
+def flush_mode_plan(scale: Scale, seed: int = 1,
+                    transactions: Optional[int] = None) -> _Plan:
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for bench in BEP_BENCHMARKS:
+        for mode in (FlushMode.CLFLUSH, FlushMode.CLWB):
+            specs.append(RunSpec.bep(
+                bench, BarrierDesign.LB_PP, scale, seed=seed,
+                transactions=transactions, flush_mode=mode,
+            ))
+            keys.append((bench, mode.value))
+    return specs, keys
+
+
 def ablation_flush_mode(scale: Scale = Scale.SMALL, seed: int = 1,
-                        transactions: Optional[int] = None) -> FigureTable:
+                        transactions: Optional[int] = None,
+                        jobs: Optional[int] = None,
+                        cache: Optional[ResultCache] = None,
+                        refresh: bool = False) -> FigureTable:
     """Section 7: non-invalidating (clwb) vs invalidating (clflush)
     flushes; the paper reports clwb ~30% faster."""
+    by_key = _run_plan(
+        flush_mode_plan(scale, seed, transactions), jobs, cache, refresh
+    )
     table = FigureTable(
         "Ablation: clwb vs clflush flushes (throughput, normalized to "
         "clflush)", ["clflush", "clwb"], summary="gmean",
     )
     for bench in BEP_BENCHMARKS:
-        thpts = {}
-        for mode in (FlushMode.CLFLUSH, FlushMode.CLWB):
-            result = run_bep(
-                bench, BarrierDesign.LB_PP, scale=scale, seed=seed,
-                transactions=transactions, flush_mode=mode,
-            )
-            thpts[mode.value] = result.throughput
-        base = thpts[FlushMode.CLFLUSH.value]
-        table.add_row(bench, [1.0, thpts[FlushMode.CLWB.value] / base])
+        base = by_key[(bench, FlushMode.CLFLUSH.value)].throughput
+        table.add_row(bench, [
+            1.0, by_key[(bench, FlushMode.CLWB.value)].throughput / base
+        ])
     return table
+
+
+def writethrough_plan(scale: Scale, seed: int = 1,
+                      mem_ops: Optional[int] = None,
+                      apps: Optional[Sequence[str]] = None) -> _Plan:
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for app in apps or APP_NAMES:
+        specs.append(_np_baseline_spec(app, scale, seed, mem_ops))
+        keys.append((app, "NP"))
+        specs.append(RunSpec.bsp(
+            app, BarrierDesign.LB, scale, seed=seed,
+            model=PersistencyModel.BSP_WT, mem_ops=mem_ops,
+        ))
+        keys.append((app, "BSP-WT"))
+    return specs, keys
 
 
 def ablation_writethrough(scale: Scale = Scale.SMALL, seed: int = 1,
                           mem_ops: Optional[int] = None,
-                          apps: Optional[List[str]] = None) -> FigureTable:
+                          apps: Optional[List[str]] = None,
+                          jobs: Optional[int] = None,
+                          cache: Optional[ResultCache] = None,
+                          refresh: bool = False) -> FigureTable:
     """Section 7.2: naive write-through BSP, ~8x over NP in the paper."""
+    by_key = _run_plan(
+        writethrough_plan(scale, seed, mem_ops, apps), jobs, cache, refresh
+    )
     table = FigureTable(
         "Ablation: naive write-through BSP (execution time normalized "
         "to NP)", ["BSP-WT"], summary="gmean",
     )
     for app in apps or APP_NAMES:
-        baseline = run_bsp(
-            app, BarrierDesign.LB, scale=scale, seed=seed,
-            persistency=PersistencyModel.NP, mem_ops=mem_ops,
-        )
-        result = run_bsp(
-            app, BarrierDesign.LB, scale=scale, seed=seed,
-            persistency=PersistencyModel.BSP_WT, mem_ops=mem_ops,
-        )
+        baseline = by_key[(app, "NP")]
+        summary = by_key[(app, "BSP-WT")]
         table.add_row(
-            app, [result.cycles_visible / baseline.cycles_visible]
+            app, [summary.cycles_visible / baseline.cycles_visible]
         )
     return table
 
@@ -232,14 +348,55 @@ def ablation_writethrough(scale: Scale = Scale.SMALL, seed: int = 1,
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
+_ALL_FIGURES = ("fig11", "fig12", "fig13", "fig14", "flushmode",
+                "writethrough")
+
+
+def all_specs(scale: Scale, seed: int = 1) -> List[RunSpec]:
+    """The deduplicated union of every figure's specs, in first-seen
+    order.  Used to prewarm the cache with one big parallel batch before
+    the figures are assembled (the shared NP baselines run once)."""
+    seen = {}
+    for plan in (
+        bep_sweep_plan(scale, seed),
+        fig13_plan(scale, seed),
+        fig14_plan(scale, seed),
+        flush_mode_plan(scale, seed),
+        writethrough_plan(scale, seed),
+    ):
+        for spec in plan[0]:
+            seen.setdefault(spec, None)
+    return list(seen)
+
+
+def add_executor_args(parser: argparse.ArgumentParser) -> None:
+    """The sweep-executor knobs, shared with ``python -m repro``."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel worker processes (default: all cores; 1 = "
+             "in-process serial execution)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every run and overwrite cached results",
+    )
+    parser.add_argument(
+        "--cache-dir", default=str(DEFAULT_CACHE_DIR),
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's figures."
     )
     parser.add_argument(
         "figures", nargs="+",
-        choices=["fig11", "fig12", "fig13", "fig14", "flushmode",
-                 "writethrough", "all"],
+        choices=list(_ALL_FIGURES) + ["all"],
     )
     parser.add_argument("--scale", default="small",
                         choices=[s.value for s in Scale])
@@ -248,12 +405,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write each figure's data as CSV here")
     parser.add_argument("--chart", action="store_true",
                         help="render terminal bar charts too")
+    add_executor_args(parser)
     args = parser.parse_args(argv)
     scale = Scale(args.scale)
     wanted = set(args.figures)
-    if "all" in wanted:
-        wanted = {"fig11", "fig12", "fig13", "fig14", "flushmode",
-                  "writethrough"}
+    run_all = "all" in wanted
+    if run_all:
+        wanted = set(_ALL_FIGURES)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = args.jobs
+    refresh = args.refresh
 
     def emit(tag: str, table, precision: int = 3) -> None:
         print(table.render(precision=precision))
@@ -267,25 +429,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
 
     start = time.time()
+    if run_all and cache is not None:
+        # One batch over the union of all figures' specs: maximum
+        # fan-out, shared baselines computed once, figures below then
+        # assemble from the warm cache.
+        run_specs(all_specs(scale, args.seed), jobs=jobs, cache=cache,
+                  refresh=refresh)
+        refresh = False
     if wanted & {"fig11", "fig12"}:
-        sweep = run_bep_sweep(scale, args.seed)
+        sweep = run_bep_sweep(scale, args.seed, jobs=jobs, cache=cache,
+                              refresh=refresh)
         if "fig11" in wanted:
             emit("fig11", fig11(scale, args.seed, sweep=sweep))
         if "fig12" in wanted:
             emit("fig12", fig12(scale, args.seed, sweep=sweep), precision=1)
     if "fig13" in wanted:
-        emit("fig13", fig13(scale, args.seed), precision=2)
+        emit("fig13", fig13(scale, args.seed, jobs=jobs, cache=cache,
+                            refresh=refresh), precision=2)
     if "fig14" in wanted:
-        table, inter_share = fig14(scale, args.seed)
+        table, inter_share = fig14(scale, args.seed, jobs=jobs, cache=cache,
+                                   refresh=refresh)
         emit("fig14", table, precision=2)
         print(f"inter-thread share of conflicts: {inter_share:.0f}%"
               " (paper: 86%)\n")
     if "flushmode" in wanted:
-        emit("ablation_flush_mode", ablation_flush_mode(scale, args.seed))
+        emit("ablation_flush_mode",
+             ablation_flush_mode(scale, args.seed, jobs=jobs, cache=cache,
+                                 refresh=refresh))
     if "writethrough" in wanted:
         emit("ablation_writethrough",
-             ablation_writethrough(scale, args.seed), precision=2)
-    print(f"[{time.time() - start:.1f}s total]", file=sys.stderr)
+             ablation_writethrough(scale, args.seed, jobs=jobs, cache=cache,
+                                   refresh=refresh), precision=2)
+    elapsed = time.time() - start
+    if cache is not None:
+        print(f"[cache: {cache.hits} hits, {cache.misses} misses "
+              f"({args.cache_dir})]", file=sys.stderr)
+    print(f"[{elapsed:.1f}s total]", file=sys.stderr)
     return 0
 
 

@@ -44,6 +44,12 @@ _SCALE_PARAMS = {
     Scale.PAPER: _ScaleParams(threads=32, bep_transactions=300, bsp_mem_ops=40000),
 }
 
+
+def scale_params(scale: Scale) -> _ScaleParams:
+    """Thread count and default run lengths for a scale (used by the
+    sweep executor to resolve per-spec defaults into cache keys)."""
+    return _SCALE_PARAMS[scale]
+
 # The paper sweeps epoch sizes of 300 / 1000 / 10000 dynamic stores over
 # runs executing billions of instructions.  Our runs are shorter, so the
 # sweep sizes scale with run length to keep the epochs-per-run and

@@ -72,13 +72,22 @@ class SetAssociativeCache:
         self.num_sets = num_sets
         self.assoc = assoc
         self._offset_bits = line_size.bit_length() - 1
+        # Set counts are powers of two for every stock geometry, which
+        # turns the per-access modulo into a mask.
+        self._set_mask = (
+            num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
+        )
         self._sets: list[Dict[int, CacheEntry]] = [{} for _ in range(num_sets)]
         self._stats = stats
         self._tick = 0
 
     # ------------------------------------------------------------------
     def _set_of(self, line: int) -> Dict[int, CacheEntry]:
-        return self._sets[(line >> self._offset_bits) % self.num_sets]
+        index = line >> self._offset_bits
+        mask = self._set_mask
+        if mask is not None:
+            return self._sets[index & mask]
+        return self._sets[index % self.num_sets]
 
     def lookup(self, line: int) -> Optional[CacheEntry]:
         """Return the entry for ``line`` or None, without touching LRU."""
@@ -86,8 +95,8 @@ class SetAssociativeCache:
 
     def touch(self, entry: CacheEntry) -> None:
         """Mark ``entry`` most-recently-used."""
-        self._tick += 1
-        entry._lru = self._tick
+        self._tick = tick = self._tick + 1
+        entry._lru = tick
 
     def victim_for(self, line: int) -> Optional[CacheEntry]:
         """Entry that must be evicted before ``line`` can be inserted.
@@ -100,9 +109,20 @@ class SetAssociativeCache:
         cache_set = self._set_of(line)
         if line in cache_set or len(cache_set) < self.assoc:
             return None
-        clean = [e for e in cache_set.values() if not e.dirty]
-        pool = clean if clean else list(cache_set.values())
-        return min(pool, key=lambda e: e._lru)
+        # Single pass: least-recently-used clean entry if one exists,
+        # otherwise least-recently-used overall.  Dirty candidates stop
+        # being tracked once any clean entry has been seen.
+        best_clean: Optional[CacheEntry] = None
+        best_dirty: Optional[CacheEntry] = None
+        for entry in cache_set.values():
+            if not entry.dirty:
+                if best_clean is None or entry._lru < best_clean._lru:
+                    best_clean = entry
+            elif best_clean is None and (
+                best_dirty is None or entry._lru < best_dirty._lru
+            ):
+                best_dirty = entry
+        return best_clean if best_clean is not None else best_dirty
 
     def insert(self, line: int) -> CacheEntry:
         """Insert (or return the existing) entry for ``line``.

@@ -14,11 +14,20 @@ and return.  Blocking behaviour (a core stalled on an online persist) is
 expressed by simply not scheduling the continuation until the unblocking
 event fires.
 
-Implementation note: heap entries are ``(time, priority, seq, event)``
-tuples rather than rich objects, so ordering resolves through C-level
-tuple comparison (the sequence number is unique, so the event itself is
-never compared) -- a measurable win given the event volume of a
-multicore simulation.
+Implementation notes:
+
+* Heap entries are ``(time, priority, seq, event)`` tuples rather than
+  rich objects, so ordering resolves through C-level tuple comparison
+  (the sequence number is unique, so the event itself is never
+  compared) -- a measurable win given the event volume of a multicore
+  simulation.
+* Cancellation is lazy: a cancelled event stays in the heap until it
+  reaches the head, where :meth:`Engine._discard_cancelled_head` drops
+  it.  This is the single place cancelled entries are reaped, shared by
+  :meth:`Engine.run` and :meth:`Engine.peek_time`, so both observe the
+  same head.  A live-event counter keeps :meth:`Engine.pending` O(1),
+  and when cancelled entries come to dominate a large heap the queue is
+  compacted in place so heap operations stay proportional to live work.
 """
 
 from __future__ import annotations
@@ -26,22 +35,36 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+# Compact the heap when it holds more than this many entries and fewer
+# than half of them are live.  Small heaps are never compacted; the
+# rebuild would cost more than the dead entries it removes.
+_COMPACT_MIN_SIZE = 64
+
 
 class Event:
     """A scheduled callback; kept alive inside the heap entry tuple."""
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_engine")
 
     def __init__(self, time: int, callback: Callable[..., None],
-                 args: tuple) -> None:
+                 args: tuple, engine: Optional["Engine"] = None) -> None:
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing when it reaches the heap head."""
+        """Prevent the event from firing when it reaches the heap head.
+
+        Idempotent: cancelling twice decrements the engine's live-event
+        count exactly once.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancel()
 
 
 class Engine:
@@ -58,6 +81,7 @@ class Engine:
     def __init__(self) -> None:
         self._queue: List[Tuple[int, int, int, Event]] = []
         self._seq = 0
+        self._live = 0
         self.now: int = 0
         self._stopped = False
 
@@ -80,9 +104,10 @@ class Engine:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         time = self.now + delay
-        event = Event(time, callback, args)
+        event = Event(time, callback, args, engine=self)
         heapq.heappush(self._queue, (time, priority, self._seq, event))
         self._seq += 1
+        self._live += 1
         return event
 
     def schedule_at(
@@ -95,6 +120,29 @@ class Engine:
         """Schedule ``callback(*args)`` at an absolute cycle count."""
         return self.schedule(time - self.now, callback, *args,
                              priority=priority)
+
+    # ------------------------------------------------------------------
+    # Lazy-deletion bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        queue = self._queue
+        if len(queue) > _COMPACT_MIN_SIZE and self._live * 2 < len(queue):
+            # In-place slice assignment: ``run`` holds a local alias to
+            # the queue list, so the list object must not be replaced.
+            queue[:] = [entry for entry in queue if not entry[3].cancelled]
+            heapq.heapify(queue)
+
+    def _discard_cancelled_head(self) -> None:
+        """Reap cancelled entries at the heap head.
+
+        The one place lazy deletion resolves; after it returns, the head
+        (if any) is live.  Cancelled entries were already removed from
+        the live count when they were cancelled.
+        """
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
 
     # ------------------------------------------------------------------
     # Execution
@@ -110,8 +158,10 @@ class Engine:
         executed = 0
         self._stopped = False
         queue = self._queue
-        while queue:
-            if self._stopped:
+        pop = heapq.heappop
+        while True:
+            self._discard_cancelled_head()
+            if not queue or self._stopped:
                 break
             if max_events is not None and executed >= max_events:
                 break
@@ -119,9 +169,8 @@ class Engine:
             if until is not None and time > until:
                 self.now = until
                 break
-            event = heapq.heappop(queue)[3]
-            if event.cancelled:
-                continue
+            event = pop(queue)[3]
+            self._live -= 1
             self.now = time
             event.callback(*event.args)
             executed += 1
@@ -132,11 +181,10 @@ class Engine:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for entry in self._queue if not entry[3].cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
+        self._discard_cancelled_head()
         return self._queue[0][0] if self._queue else None

@@ -71,6 +71,24 @@ def test_figures_delegates(capsys):
     assert "Figure 12" in out
 
 
+def test_figures_accepts_executor_flags(tmp_path, capsys):
+    rc = main(["figures", "fig12", "--scale", "tiny", "--jobs", "1",
+               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 0
+    assert "Figure 12" in capsys.readouterr().out
+    assert (tmp_path / "cache").is_dir()
+    rc = main(["figures", "fig12", "--scale", "tiny", "--no-cache",
+               "--jobs", "1"])
+    assert rc == 0
+
+
+def test_bench_subcommand_registered():
+    parser = build_parser()
+    args = parser.parse_args(["bench", "--jobs", "2"])
+    assert callable(args.func)
+    assert args.jobs == 2
+
+
 def test_bad_design_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--workload", "queue", "--design", "LBX"])

@@ -134,3 +134,71 @@ def test_pending_and_peek():
     assert engine.peek_time() == 3
     event.cancel()
     assert engine.pending() == 1
+
+
+def test_cancel_is_idempotent():
+    engine = Engine()
+    event = engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    event.cancel()
+    event.cancel()  # double cancel must not double-decrement
+    assert engine.pending() == 1
+    assert engine.run() == 1
+    assert engine.pending() == 0
+
+
+def test_cancel_then_peek_then_run_ordering():
+    """Regression: peek_time reaps cancelled head entries; a subsequent
+    run must still fire the remaining events in order and never fire the
+    cancelled one."""
+    engine = Engine()
+    fired = []
+    head = engine.schedule(3, fired.append, "cancelled-head")
+    engine.schedule(5, fired.append, "a")
+    engine.schedule(5, fired.append, "b")
+    head.cancel()
+    assert engine.peek_time() == 5  # cancelled head is skipped
+    assert engine.pending() == 2
+    engine.run()
+    assert fired == ["a", "b"]
+    assert engine.now == 5
+    assert engine.pending() == 0
+
+
+def test_cancelled_peek_survivor_fires_after_run():
+    engine = Engine()
+    fired = []
+    first = engine.schedule(2, fired.append, "x")
+    engine.schedule(4, fired.append, "y")
+    first.cancel()
+    # peek, then schedule more work, then run: lazy deletion must not
+    # disturb ordering of events scheduled after the peek.
+    assert engine.peek_time() == 4
+    engine.schedule(3, fired.append, "z")
+    engine.run()
+    assert fired == ["z", "y"]
+
+
+def test_mass_cancellation_compacts_queue():
+    engine = Engine()
+    events = [engine.schedule(i + 1, lambda: None) for i in range(500)]
+    keeper_fired = []
+    engine.schedule(1000, keeper_fired.append, "keeper")
+    for event in events:
+        event.cancel()
+    # Compaction keeps the heap proportional to live work.
+    assert engine.pending() == 1
+    assert len(engine._queue) < 100
+    engine.run()
+    assert keeper_fired == ["keeper"]
+    assert engine.now == 1000
+
+
+def test_pending_counts_executed_events_down():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(i, lambda: None)
+    engine.run(max_events=2)
+    assert engine.pending() == 3
+    engine.run()
+    assert engine.pending() == 0
