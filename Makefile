@@ -3,11 +3,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-smoke test-slow bench figures clean-cache
+.PHONY: ci test test-reference test-smoke test-slow bench figures clean-cache
+
+# What CI runs (see .github/workflows/ci.yml): the fast tier-1 suite,
+# the same suite on the pure-heap reference engine, and a bench smoke
+# run (single-run ops/sec + the six-model digest matrix, no sweep).
+ci: test test-reference
+	$(PYTHON) -m repro bench --transactions 10 --no-sweep \
+		--output /tmp/bench-ci.json
 
 # Tier-1: the full fast suite (includes the parallel sweep smoke tests).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The same suite with the engine fast paths disabled -- everything must
+# behave identically on the reference event loop.
+test-reference:
+	REPRO_SLOW_ENGINE=1 $(PYTHON) -m pytest -x -q
 
 # Just the tiny-scale parallel sweep smoke tests (executor determinism).
 test-smoke:

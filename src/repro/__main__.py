@@ -101,7 +101,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import run_bench
-    run_bench(jobs=args.jobs, seed=args.seed, output=args.output)
+    run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
+              transactions=args.transactions, profile=args.profile,
+              sweep=not args.no_sweep)
     return 0
 
 
@@ -229,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument("--jobs", type=int, default=4)
     bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--transactions", type=int, default=None,
+                         help="single-run length in transactions")
+    bench_p.add_argument("--profile", action="store_true",
+                         help="cProfile one single run into "
+                              "BENCH_profile.txt")
+    bench_p.add_argument("--no-sweep", action="store_true",
+                         help="skip the sweep-executor timing (smoke mode)")
     bench_p.add_argument("--output", default="BENCH_sweep.json")
     bench_p.set_defaults(func=cmd_bench)
 

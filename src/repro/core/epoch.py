@@ -66,6 +66,7 @@ class Epoch:
         "created_at",
         "closed_at",
         "persisted_at",
+        "persisted",
         "manager",
     )
 
@@ -79,6 +80,11 @@ class Epoch:
         # persistency.
         self.strand = strand
         self.status = EpochStatus.ONGOING
+        # Mirrors ``status is PERSISTED`` as a plain attribute: the
+        # persisted check sits under every unpersisted-line test in the
+        # request hot path, where a property descriptor call would cost
+        # more than the rest of the check combined.
+        self.persisted = False
         # Lines whose current unpersisted dirty version belongs to this
         # epoch (they live in the core's L1 or in the LLC).
         self.lines: Set[int] = set()
@@ -118,10 +124,6 @@ class Epoch:
         self.manager = manager
 
     # ------------------------------------------------------------------
-    @property
-    def persisted(self) -> bool:
-        return self.status is EpochStatus.PERSISTED
-
     @property
     def complete(self) -> bool:
         return self.status in (EpochStatus.COMPLETE, EpochStatus.PERSISTED)
@@ -309,12 +311,20 @@ class EpochManager:
     def _complete(self, epoch: Epoch) -> None:
         epoch.status = EpochStatus.COMPLETE
         waiters, epoch.complete_waiters = epoch.complete_waiters, []
-        for callback in waiters:
-            callback()
-        self.completion_hook(epoch)
-        # An epoch that drained all its lines before completing (natural
-        # evictions) may be able to persist right away.
-        self.persist_check(epoch)
+        # Hold the clock across the fan-out: an inline completion inside
+        # one waiter must not warp ``now`` for the continuations that
+        # follow it in this same event.
+        engine = self._engine
+        engine.advance_holds += 1
+        try:
+            for callback in waiters:
+                callback()
+            self.completion_hook(epoch)
+            # An epoch that drained all its lines before completing
+            # (natural evictions) may be able to persist right away.
+            self.persist_check(epoch)
+        finally:
+            engine.advance_holds -= 1
 
     # ------------------------------------------------------------------
     # Splitting (deadlock avoidance, section 3.3)
@@ -416,6 +426,7 @@ class EpochManager:
                 )
         self.window.pop(idx)
         epoch.status = EpochStatus.PERSISTED
+        epoch.persisted = True
         epoch.persisted_at = self._engine.now
         self._stats.bump("epochs_persisted")
         if epoch.conflict_flush:
@@ -429,16 +440,25 @@ class EpochManager:
         for dependent in dependents:
             dependent.idt_sources.discard(epoch)
         waiters, epoch.persist_waiters = epoch.persist_waiters, []
-        for callback in waiters:
-            callback()
-        for dependent in dependents:
-            dependent.manager.persist_check(dependent)
-        # The strand's next epoch may already be drained and able to
-        # persist (and with one strand, that is the new window head).
-        for e in self.window:
-            if e.strand == epoch.strand:
-                self.persist_check(e)
-                break
+        # Hold the clock across the fan-out (see EpochManager._complete):
+        # waking a parked core can complete its next request inline, and
+        # that inline completion must not advance ``now`` while further
+        # waiters/dependents of this persist still have to run.
+        engine = self._engine
+        engine.advance_holds += 1
+        try:
+            for callback in waiters:
+                callback()
+            for dependent in dependents:
+                dependent.manager.persist_check(dependent)
+            # The strand's next epoch may already be drained and able to
+            # persist (and with one strand, that is the new window head).
+            for e in self.window:
+                if e.strand == epoch.strand:
+                    self.persist_check(e)
+                    break
+        finally:
+            engine.advance_holds -= 1
 
     def next_flushable(self, horizon_of) -> Optional[Epoch]:
         """The first epoch the arbiter could flush now (see

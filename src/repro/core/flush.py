@@ -54,6 +54,7 @@ class FlushOperation:
         self._mesh = machine.mesh
         self._stats = machine.stats.domain("flush")
         self._ideal = self._config.ideal_flush_coordination
+        self._fast = machine.engine.fast
         # Per-bank accounting for BankAcks.
         self._bank_outstanding: Dict[int, int] = {}
         self._bank_issue_done: Dict[int, bool] = {}
@@ -65,8 +66,7 @@ class FlushOperation:
     def start(self) -> None:
         epoch = self._epoch
         epoch.flush_active = True
-        self._stats.bump("epoch_flushes")
-        self._stats.record("flush_epoch_lines", len(epoch.lines))
+        self._machine._note_epoch_flush(len(epoch.lines))
 
         core = epoch.core_id
         now = self._engine.now
@@ -79,15 +79,21 @@ class FlushOperation:
             in_l1 = self._machine.line_in_l1(core, line, epoch)
             per_bank[self._machine.amap.bank_of(line)].append((line, in_l1))
 
+        c2b_row = self._mesh.c2b[core] if self._fast else None
         for bank, lines in per_bank.items():
             self._bank_outstanding[bank] = 0
             self._bank_acked[bank] = False
-            hop = 0 if self._ideal else self._mesh.core_to_bank(core, bank)
+            if self._ideal:
+                hop = 0
+            elif c2b_row is not None:
+                hop = c2b_row[bank]
+            else:
+                hop = self._mesh.core_to_bank(core, bank)
             if not lines:
                 # Step 3 degenerate case: nothing to flush in this bank;
                 # it acks as soon as FlushEpoch arrives.
                 self._bank_issue_done[bank] = True
-                self._engine.schedule_at(now + 2 * hop, self._bank_ack, bank)
+                self._engine.schedule_call(2 * hop, self._bank_ack, bank)
                 continue
             self._bank_issue_done[bank] = False
             flush_epoch_arrival = now + hop
@@ -104,7 +110,8 @@ class FlushOperation:
                 else:
                     t = flush_epoch_arrival + i * FLUSH_PIPELINE_INTERVAL
                 last = i == len(lines) - 1
-                self._engine.schedule_at(t, self._issue_line, bank, line, last)
+                self._engine.schedule_call(t - now, self._issue_line,
+                                           bank, line, last)
 
 
     # ------------------------------------------------------------------
@@ -114,13 +121,20 @@ class FlushOperation:
             entry, level_core = self._machine.locate_epoch_line(epoch, line)
             if entry is not None:
                 self._bank_outstanding[bank] += 1
+                if self._ideal:
+                    extra = 0
+                elif self._fast:
+                    extra = self._mesh.b2mc[bank][
+                        self._machine.amap.mc_of(line)]
+                else:
+                    extra = self._mesh.bank_to_mc(
+                        bank, self._machine.amap.mc_of(line)
+                    )
                 self._machine.persist_line(
                     entry,
                     epoch,
                     kind="data",
-                    extra_delay=0 if self._ideal else self._mesh.bank_to_mc(
-                        bank, self._machine.amap.mc_of(line)
-                    ),
+                    extra_delay=extra,
                     on_ack=lambda t, b=bank: self._line_acked(b),
                     invalidate=self._config.flush_mode is FlushMode.CLFLUSH,
                     from_l1_core=level_core,
@@ -144,9 +158,13 @@ class FlushOperation:
         if self._bank_acked[bank]:
             return
         self._bank_acked[bank] = True
-        delay = (0 if self._ideal
-                 else self._mesh.core_to_bank(self._epoch.core_id, bank))
-        self._engine.schedule(delay, self._bank_ack, bank)
+        if self._ideal:
+            delay = 0
+        elif self._fast:
+            delay = self._mesh.c2b[self._epoch.core_id][bank]
+        else:
+            delay = self._mesh.core_to_bank(self._epoch.core_id, bank)
+        self._engine.schedule_call(delay, self._bank_ack, bank)
 
     def _bank_ack(self, bank: int) -> None:
         # Degenerate-bank path may arrive here directly; mark it acked.
@@ -156,7 +174,7 @@ class FlushOperation:
             # Step 4: PersistCMP broadcast.
             bcast = (0 if self._ideal else
                      self._mesh.broadcast_from_core(self._epoch.core_id))
-            self._engine.schedule(bcast, self._persist_cmp)
+            self._engine.schedule_call(bcast, self._persist_cmp)
 
     def _persist_cmp(self) -> None:
         epoch = self._epoch

@@ -68,6 +68,11 @@ _EPOCH_MODELS = (
     PersistencyModel.EP,
 )
 
+# Bound on nested inline compute continuations (each nesting level is a
+# handful of Python stack frames; the cap keeps compute streaks from
+# growing the stack unboundedly, like the machine's inline-depth cap).
+_MAX_COMPUTE_INLINE = 16
+
 
 class Core:
     """One simulated core executing one thread's op stream."""
@@ -84,6 +89,25 @@ class Core:
         self._uses_epochs = self._model in _EPOCH_MODELS
         self._mgr = machine.managers[core_id]
         self._ckpt = machine.checkpoints[core_id]
+        # Hot-path accounting: these counters are bumped on every memory
+        # op, so they live as plain attributes and are merged into the
+        # stat domain once, at run end (flush_hot_stats), instead of
+        # paying a dict lookup per op.  Reference mode (REPRO_SLOW_ENGINE)
+        # takes the per-op ``stats.bump`` path instead, so the shortcut
+        # itself is covered by the determinism-digest tests.
+        self._fast = machine.engine.fast
+        self._n_loads = 0
+        self._n_stores = 0
+        self._n_barriers = 0
+        self._n_wb_forwards = 0
+        self._n_txns = 0
+        # line_of is a single mask op; cache the mask so the per-op path
+        # skips the config attribute and method dispatch.  The issue
+        # width and write-buffer capacity are read per op too.
+        self._line_mask = ~(machine.config.line_size - 1)
+        self._issue_cycles = machine.config.issue_width_cycles
+        self._wb_capacity = machine.config.write_buffer_entries
+        self._compute_depth = 0
 
         self.wb: deque[WriteBufferEntry] = deque()
         self._wb_stores = 0
@@ -96,9 +120,33 @@ class Core:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self._engine.schedule(0, self._next)
+        self._engine.call_soon(self._next)
 
-    def _next(self) -> None:
+    def flush_hot_stats(self) -> None:
+        """Merge the attribute-held hot counters into the stat domain.
+
+        Called by the machine at run end (and idempotent: counters reset
+        to zero as they merge), so readers of ``stats`` after a run see
+        exactly what per-op ``bump`` calls would have produced.
+        """
+        stats = self.stats
+        if self._n_loads:
+            stats.bump("loads", self._n_loads)
+            self._n_loads = 0
+        if self._n_stores:
+            stats.bump("stores", self._n_stores)
+            self._n_stores = 0
+        if self._n_barriers:
+            stats.bump("barriers", self._n_barriers)
+            self._n_barriers = 0
+        if self._n_wb_forwards:
+            stats.bump("wb_forwards", self._n_wb_forwards)
+            self._n_wb_forwards = 0
+        if self._n_txns:
+            stats.bump("txns", self._n_txns)
+            self._n_txns = 0
+
+    def _next(self, _time: Optional[int] = None) -> None:
         try:
             op = next(self._it)
         except StopIteration:
@@ -107,10 +155,37 @@ class Core:
             return
         kind = op.kind
         if kind is OpKind.COMPUTE:
-            self._engine.schedule(op.cycles, self._next)
+            eng = self._engine
+            if self._fast:
+                # Same clock-claim check as the machine's fused request
+                # paths: when the end of the compute burst would be the
+                # very next event, advance the clock and continue
+                # synchronously instead of round-tripping the heap.
+                done = eng.now + op.cycles
+                queue = eng._queue
+                if (
+                    self._compute_depth < _MAX_COMPUTE_INLINE
+                    and eng._in_run
+                    and not eng._stopped
+                    and not eng.advance_holds
+                    and not eng._ready
+                    and (not queue or queue[0][0] > done)
+                    and (eng._until is None or done <= eng._until)
+                ):
+                    eng.now = done
+                    self._compute_depth += 1
+                    try:
+                        self._next()
+                    finally:
+                        self._compute_depth -= 1
+                    return
+            eng.schedule_call(op.cycles, self._next)
         elif kind is OpKind.TXN_MARK:
-            self.stats.bump("txns")
-            self._engine.schedule(0, self._next)
+            if self._fast:
+                self._n_txns += 1
+            else:
+                self.stats.bump("txns")
+            self._engine.call_soon(self._next)
         elif kind is OpKind.LOAD:
             self._issue_load(op)
         elif kind is OpKind.STORE:
@@ -126,60 +201,69 @@ class Core:
     # Loads
     # ------------------------------------------------------------------
     def _issue_load(self, op: Op) -> None:
-        line = self._config.line_of(op.addr)
-        self.stats.bump("loads")
+        line = op.addr & self._line_mask
+        if self._fast:
+            self._n_loads += 1
+        else:
+            self.stats.bump("loads")
         if self._wb_lines.get(line):
             # Store-to-load forwarding out of the write buffer.
-            self.stats.bump("wb_forwards")
-            self._engine.schedule(1, self._next)
+            if self._fast:
+                self._n_wb_forwards += 1
+            else:
+                self.stats.bump("wb_forwards")
+            self._engine.schedule_call(1, self._next)
             return
-        self._machine.load(self.core_id, line, on_done=self._load_done)
-
-    def _load_done(self, _time: int) -> None:
-        self._next()
+        self._machine.load(self.core_id, line, on_done=self._next)
 
     # ------------------------------------------------------------------
     # Stores and barriers (issue side)
     # ------------------------------------------------------------------
     def _issue_store(self, op: Op) -> None:
-        if self._wb_stores + self._wt_outstanding >= self._config.write_buffer_entries:
+        if self._wb_stores + self._wt_outstanding >= self._wb_capacity:
             self.stats.bump("wb_full_stalls")
             self._pending_push = op
             return
-        line = self._config.line_of(op.addr)
+        line = op.addr & self._line_mask
         values: Optional[Dict[int, object]] = None
         if self._machine.track_values:
             values = {op.addr - line: op.value}
         self._push(WriteBufferEntry(line, values))
         self._wb_stores += 1
         self._wb_lines[line] = self._wb_lines.get(line, 0) + 1
-        self.stats.bump("stores")
-        self._engine.schedule(self._config.issue_width_cycles, self._next)
+        if self._fast:
+            self._n_stores += 1
+        else:
+            self.stats.bump("stores")
+        self._engine.schedule_call(self._issue_cycles, self._next)
 
     def _issue_barrier(self) -> None:
-        self.stats.bump("barriers")
+        if self._fast:
+            self._n_barriers += 1
+        else:
+            self.stats.bump("barriers")
         if not self._uses_epochs or self._model is PersistencyModel.BSP:
             # NP/SP/WT ignore explicit barriers; under BSP bulk mode the
             # hardware inserts its own.
-            self._engine.schedule(0, self._next)
+            self._engine.call_soon(self._next)
             return
         ep_wait = self._model is PersistencyModel.EP
         self._push(WriteBufferEntry(is_barrier=True, ep_wait=ep_wait))
         if not ep_wait:
-            self._engine.schedule(0, self._next)
+            self._engine.call_soon(self._next)
         # For EP the core parks here; the marker's drain handler resumes
         # it once the epoch persists (rule E2 of section 2.1).
 
     def _issue_strand(self, op: Op) -> None:
         if self._uses_epochs:
             self._push(WriteBufferEntry(strand=op.value))
-        self._engine.schedule(0, self._next)
+        self._engine.call_soon(self._next)
 
     def _push(self, entry: WriteBufferEntry) -> None:
         self.wb.append(entry)
         if not self._draining:
             self._draining = True
-            self._engine.schedule(0, self._drain)
+            self._engine.call_soon(self._drain)
 
     # ------------------------------------------------------------------
     # Write-buffer drain (epoch tagging happens here)
@@ -196,7 +280,7 @@ class Core:
         if entry.strand is not None:
             self.wb.popleft()
             self._mgr.set_strand(entry.strand)
-            self._engine.schedule(0, self._drain)
+            self._engine.call_soon(self._drain)
             return
         if self._model is PersistencyModel.SP:
             self._machine.store(
@@ -252,14 +336,14 @@ class Core:
         closed = self._mgr.close_current()
         if self._model is PersistencyModel.EP and entry.ep_wait:
             if closed is None:
-                self._engine.schedule(0, self._next)
+                self._engine.call_soon(self._next)
             else:
                 self.stats.bump("ep_barrier_stalls")
                 closed.on_persist(self._next)
                 self._machine.arbiters[self.core_id].request_flush_upto(
                     closed, online=True, mark_conflict=False
                 )
-        self._engine.schedule(0, self._drain)
+        self._engine.call_soon(self._drain)
 
     def _hardware_barrier(self) -> None:
         """BSP bulk mode: hardware-inserted barrier + register checkpoint."""
@@ -295,7 +379,7 @@ class Core:
     def _resume_pending_push(self) -> None:
         if self._pending_push is None:
             return
-        if self._wb_stores + self._wt_outstanding >= self._config.write_buffer_entries:
+        if self._wb_stores + self._wt_outstanding >= self._wb_capacity:
             return
         op, self._pending_push = self._pending_push, None
         self._issue_store(op)

@@ -1,28 +1,38 @@
-"""Sweep-executor benchmark: serial vs parallel vs warm cache.
+"""Benchmark harness: single-run hot path + sweep executor.
 
-Times a fixed tiny-scale multi-figure sweep three ways --
+Two benchmark families, both written to ``BENCH_sweep.json`` so the
+performance trajectory is tracked across PRs:
 
-* **serial**:   ``jobs=1``, no cache (the pre-executor baseline);
-* **parallel**: ``jobs=N``, no cache (process-pool fan-out);
-* **warm**:     ``jobs=N`` against a freshly populated result cache
-  (every run a hit);
+* **single run** -- ops/sec of one in-process tiny-scale run, measured
+  with the engine fast paths on and again under ``REPRO_SLOW_ENGINE=1``
+  (the pure-heap reference mode).  The two runs must produce the same
+  determinism digest (:func:`repro.sim.digest.state_digest`); the digest
+  comparison is repeated across all six persistency models.  This is
+  the per-run simulation loop the sweeps are made of.
+* **sweep** -- the PR-1 executor benchmark: a fixed tiny-scale
+  multi-figure sweep timed serial, parallel, and against a warm result
+  cache.
 
--- and writes the wall-clock numbers, speedups, and cache hit counts to
-``BENCH_sweep.json`` so the performance trajectory is tracked across
-PRs.  Runnable as ``python -m repro bench`` or
+``--profile`` wraps one fast single run in :mod:`cProfile` and writes
+the top functions by cumulative time to ``BENCH_profile.txt`` next to
+the JSON output.  Runnable as ``python -m repro bench`` or
 ``python scripts/bench_sweep.py``.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
 import os
 import platform
+import pstats
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.harness.cache import ResultCache
 from repro.harness.executor import RunSpec, run_specs
@@ -32,8 +42,17 @@ from repro.harness.experiments import (
     fig14_plan,
 )
 from repro.harness.runner import Scale
+from repro.sim.config import (
+    BarrierDesign,
+    MachineConfig,
+    PersistencyModel,
+)
+from repro.sim.digest import state_digest
+from repro.system import Multicore
+from repro.workloads.micro import make_benchmark
 
 DEFAULT_OUTPUT = "BENCH_sweep.json"
+PROFILE_OUTPUT = "BENCH_profile.txt"
 
 # Short run lengths: the benchmark measures the executor, not the
 # simulator, so each run only needs to be long enough to dominate
@@ -42,7 +61,201 @@ _BENCH_TRANSACTIONS = 20
 _BENCH_MEM_OPS = 1500
 _BENCH_APPS = ("radix", "cholesky", "ssca2")
 
+# Single-run microbenchmark defaults.  The headline workload is
+# ``hotset`` on one core: a cache-resident read-mostly loop whose ops are
+# almost all conflict-free L1 hits -- the per-access path the engine fast
+# paths target -- so the fast/reference ratio measures the engine rather
+# than the (mode-independent) miss and epoch-flush machinery.  300
+# transactions ~= 20k ops: long enough that per-run setup vanishes,
+# short enough to rerun per mode with repeats.
+_SINGLE_RUN_TRANSACTIONS = 300
+_SINGLE_RUN_BENCHMARK = "hotset"
+_SINGLE_RUN_CORES = 1
+_SINGLE_RUN_REPEATS = 3
 
+# Digest matrix: every persistency model the simulator implements, each
+# checked fast-vs-reference on a short run.  Uses the richer ``queue``
+# structure on the stock multicore tiny config so the comparison
+# exercises coherence, conflicts, and epoch machinery, not just the hit
+# path.
+_DIGEST_BENCHMARK = "queue"
+_DIGEST_TRANSACTIONS = 12
+_DIGEST_MODELS = (
+    PersistencyModel.NP,
+    PersistencyModel.SP,
+    PersistencyModel.EP,
+    PersistencyModel.BEP,
+    PersistencyModel.BSP,
+    PersistencyModel.BSP_WT,
+)
+
+
+@contextmanager
+def reference_mode(slow: bool = True):
+    """Build engines on the pure-heap reference path within the block.
+
+    The engine reads ``REPRO_SLOW_ENGINE`` at construction, so toggling
+    the environment variable around machine construction is all it
+    takes; the previous value is restored on exit.
+    """
+    key = "REPRO_SLOW_ENGINE"
+    saved = os.environ.get(key)
+    os.environ[key] = "1" if slow else "0"
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = saved
+
+
+# ----------------------------------------------------------------------
+# Single-run microbenchmark
+# ----------------------------------------------------------------------
+def _single_run_setup(
+    seed: int, transactions: int,
+    model: PersistencyModel = PersistencyModel.BEP,
+    benchmark: str = _SINGLE_RUN_BENCHMARK,
+    num_cores: Optional[int] = _SINGLE_RUN_CORES,
+) -> Tuple[MachineConfig, List[list]]:
+    overrides = {}
+    if model is PersistencyModel.BSP:
+        # Small epochs so hardware barriers / checkpoints actually fire.
+        overrides["bsp_epoch_stores"] = 30
+    if num_cores is not None:
+        overrides["num_cores"] = num_cores
+    config = MachineConfig.tiny(
+        persistency=model, barrier_design=BarrierDesign.LB_IDT, **overrides
+    )
+    programs = [
+        list(
+            make_benchmark(
+                benchmark, thread_id=tid, seed=seed,
+                line_size=config.line_size,
+            ).ops(transactions)
+        )
+        for tid in range(config.num_cores)
+    ]
+    return config, programs
+
+
+def _measure_single(config: MachineConfig, programs: List[list],
+                    repeats: int) -> Tuple[float, str]:
+    """Best-of-``repeats`` wall time and the (repeat-invariant) digest."""
+    best = float("inf")
+    digest = ""
+    for _ in range(repeats):
+        machine = Multicore(config)
+        start = time.perf_counter()
+        result = machine.run(programs)
+        best = min(best, time.perf_counter() - start)
+        digest = state_digest(machine, result)
+    return best, digest
+
+
+def run_single_bench(seed: int = 1,
+                     transactions: int = _SINGLE_RUN_TRANSACTIONS,
+                     repeats: int = _SINGLE_RUN_REPEATS) -> dict:
+    """Time one tiny-scale run fast vs reference and compare digests."""
+    config, programs = _single_run_setup(seed, transactions)
+    n_ops = sum(len(p) for p in programs)
+
+    fast_s, fast_digest = _measure_single(config, programs, repeats)
+    with reference_mode():
+        slow_s, slow_digest = _measure_single(config, programs, repeats)
+
+    fast_ops = n_ops / fast_s if fast_s else 0.0
+    slow_ops = n_ops / slow_s if slow_s else 0.0
+    print(f"[bench] single run ({_SINGLE_RUN_BENCHMARK}, "
+          f"{config.num_cores} core(s), {transactions} txns, {n_ops} ops):")
+    print(f"[bench]   fast paths:    {fast_ops:10.0f} ops/s "
+          f"({fast_s * 1e3:.1f} ms)")
+    print(f"[bench]   reference:     {slow_ops:10.0f} ops/s "
+          f"({slow_s * 1e3:.1f} ms)")
+    print(f"[bench]   speedup:       {fast_ops / slow_ops:10.2f}x, digest "
+          f"{'MATCH' if fast_digest == slow_digest else 'MISMATCH'}")
+
+    return {
+        "benchmark": _SINGLE_RUN_BENCHMARK,
+        "num_cores": config.num_cores,
+        "transactions": transactions,
+        "ops": n_ops,
+        "repeats": repeats,
+        "ops_per_sec": {
+            "fast": round(fast_ops, 1),
+            "reference": round(slow_ops, 1),
+        },
+        "wall_seconds": {
+            "fast": round(fast_s, 4),
+            "reference": round(slow_s, 4),
+        },
+        "speedup": round(fast_ops / slow_ops, 3) if slow_ops else None,
+        "digest_match": fast_digest == slow_digest,
+    }
+
+
+def digest_matrix(seed: int = 1,
+                  transactions: int = _DIGEST_TRANSACTIONS) -> Dict[str, dict]:
+    """Fast-vs-reference digest comparison per persistency model."""
+    rows: Dict[str, dict] = {}
+    for model in _DIGEST_MODELS:
+        config, programs = _single_run_setup(
+            seed, transactions, model=model,
+            benchmark=_DIGEST_BENCHMARK, num_cores=None,
+        )
+
+        def one_digest() -> str:
+            machine = Multicore(config, track_values=True,
+                                track_persist_order=True)
+            result = machine.run(programs)
+            return state_digest(machine, result)
+
+        fast = one_digest()
+        with reference_mode():
+            ref = one_digest()
+        rows[model.value] = {
+            "fast": fast,
+            "reference": ref,
+            "match": fast == ref,
+        }
+    matched = sum(r["match"] for r in rows.values())
+    print(f"[bench] determinism digests: {matched}/{len(rows)} models "
+          "match fast vs reference")
+    return rows
+
+
+def run_profile(seed: int = 1,
+                transactions: int = _SINGLE_RUN_TRANSACTIONS,
+                output: str = DEFAULT_OUTPUT, top: int = 30) -> Path:
+    """Profile one fast single run; write top-N cumulative to a file."""
+    config, programs = _single_run_setup(seed, transactions)
+    machine = Multicore(config)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    machine.run(programs)
+    profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    n_ops = sum(len(p) for p in programs)
+    path = Path(output).resolve().parent / PROFILE_OUTPUT
+    path.write_text(
+        f"# cProfile of one tiny-scale single run "
+        f"({_SINGLE_RUN_BENCHMARK}, {transactions} txns, {n_ops} ops), "
+        f"sorted by cumulative time, top {top}.\n"
+        f"# Generated by `python -m repro bench --profile`.\n"
+        + buf.getvalue(),
+        encoding="utf-8",
+    )
+    print(f"[bench] wrote {path}")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Sweep-executor benchmark (PR 1)
+# ----------------------------------------------------------------------
 def bench_specs(seed: int = 1) -> List[RunSpec]:
     """The fixed tiny-scale multi-figure sweep that gets timed."""
     seen = {}
@@ -65,8 +278,7 @@ def _timed(specs: List[RunSpec], jobs: int,
     return time.perf_counter() - start
 
 
-def run_bench(jobs: int = 4, seed: int = 1,
-              output: str = DEFAULT_OUTPUT) -> dict:
+def run_sweep_bench(jobs: int, seed: int) -> dict:
     specs = bench_specs(seed)
     cpu_count = os.cpu_count() or 1
     print(f"[bench] {len(specs)} runs, tiny scale, jobs={jobs}, "
@@ -87,20 +299,13 @@ def run_bench(jobs: int = 4, seed: int = 1,
     print(f"[bench] warm cache (jobs={jobs}):        {warm_s:7.2f}s "
           f"({warm_hits}/{len(specs)} hits)")
 
-    record = {
-        "sweep": {
-            "scale": "tiny",
-            "runs": len(specs),
-            "seed": seed,
-            "transactions": _BENCH_TRANSACTIONS,
-            "mem_ops": _BENCH_MEM_OPS,
-            "apps": list(_BENCH_APPS),
-        },
-        "machine": {
-            "cpu_count": cpu_count,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
+    return {
+        "scale": "tiny",
+        "runs": len(specs),
+        "seed": seed,
+        "transactions": _BENCH_TRANSACTIONS,
+        "mem_ops": _BENCH_MEM_OPS,
+        "apps": list(_BENCH_APPS),
         "jobs": jobs,
         "wall_seconds": {
             "serial": round(serial_s, 3),
@@ -119,6 +324,28 @@ def run_bench(jobs: int = 4, seed: int = 1,
             "hit_rate": round(warm_hits / len(specs), 3) if specs else None,
         },
     }
+
+
+# ----------------------------------------------------------------------
+def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
+              transactions: Optional[int] = None, profile: bool = False,
+              sweep: bool = True) -> dict:
+    single_txns = (transactions if transactions is not None
+                   else _SINGLE_RUN_TRANSACTIONS)
+    record = {
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "single_run": run_single_bench(seed=seed, transactions=single_txns),
+        "digests": digest_matrix(seed=seed),
+    }
+    if sweep:
+        record["sweep"] = run_sweep_bench(jobs=jobs, seed=seed)
+    if profile:
+        run_profile(seed=seed, transactions=single_txns, output=output)
+
     path = Path(output)
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"[bench] wrote {path}")
@@ -127,16 +354,25 @@ def run_bench(jobs: int = 4, seed: int = 1,
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Time the sweep executor: serial vs parallel vs "
-                    "warm cache."
+        description="Benchmark the simulator: single-run ops/sec (fast vs "
+                    "reference engine) and the sweep executor."
     )
     parser.add_argument("--jobs", type=int, default=4,
                         help="parallel worker count (default 4)")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--transactions", type=int, default=None,
+                        help="single-run length in transactions "
+                             f"(default {_SINGLE_RUN_TRANSACTIONS})")
+    parser.add_argument("--profile", action="store_true",
+                        help=f"cProfile one single run into {PROFILE_OUTPUT}")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the sweep-executor timing (smoke mode)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"result file (default {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
-    run_bench(jobs=args.jobs, seed=args.seed, output=args.output)
+    run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
+              transactions=args.transactions, profile=args.profile,
+              sweep=not args.no_sweep)
     return 0
 
 

@@ -11,6 +11,22 @@ when the simulator's behaviour changes.
 Entries live as individual JSON files under ``.repro-cache/`` (one file
 per key, atomically written), so concurrent sweeps and pool workers can
 share a cache directory without locking.
+
+The bump rule for :data:`CODE_VERSION`: bump it whenever a code change
+can alter *any* observable of *any* run -- cycle counts, stats
+(including timing-sensitive counters like stall counts), persist order,
+or the NVRAM image -- even when headline results look unchanged.  Pure
+refactors that provably preserve event order (the determinism-digest
+tests are the proof) may keep the salt, but when in doubt, bump: a cold
+sweep is cheap, a stale hit is silently wrong.
+
+History:
+
+* ``sweep-v1`` -- PR 1, initial cache.
+* ``sweep-v2`` -- PR 2, engine two-tier queue + inline completions;
+  event order is digest-identical but the IDT strand-subsumption fix
+  changes flush order (and therefore stall/conflict stats) for
+  stranded workloads.
 """
 
 from __future__ import annotations
@@ -29,7 +45,7 @@ from repro.sim.config import MachineConfig
 
 # Bump whenever a simulator change can alter run results; every cached
 # entry keyed under the old salt becomes unreachable.
-CODE_VERSION = "sweep-v1"
+CODE_VERSION = "sweep-v2"
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

@@ -24,6 +24,7 @@ were given, regardless of completion order.
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -267,8 +268,24 @@ def run_specs(
     Results are deterministic: the simulator is seeded and single-run
     deterministic, and completion order never reorders the output, so
     any ``jobs`` value yields the same list.
+
+    Requested jobs are capped at ``os.cpu_count()``: CPU-bound workers
+    beyond the physical core count only add scheduling overhead, and on
+    a 1-CPU host a process pool is strictly slower than running
+    in-process (fork + pickle cost with zero overlap), so a cap of 1
+    falls back to the serial path.
     """
-    jobs = default_jobs() if jobs is None else max(1, jobs)
+    requested = default_jobs() if jobs is None else max(1, jobs)
+    cap = os.cpu_count() or 1
+    jobs = min(requested, cap)
+    if jobs < requested:
+        mode = ("in-process serial (a pool cannot overlap work on one "
+                "cpu)" if jobs == 1 else f"{jobs} pool workers")
+        print(
+            f"[executor] capping jobs={requested} to os.cpu_count()="
+            f"{cap}: running {mode}",
+            file=sys.stderr,
+        )
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
 
     misses: List[int] = []

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
+from repro.sim.engine import fast_paths_enabled
 from repro.sim.stats import StatDomain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -80,8 +81,23 @@ class SetAssociativeCache:
         self._sets: list[Dict[int, CacheEntry]] = [{} for _ in range(num_sets)]
         self._stats = stats
         self._tick = 0
+        # Last-line memo: the micro workloads stream multiple accesses to
+        # one line back to back (store bursts, load-after-store), so the
+        # common lookup is for the line just looked up.  Only hits are
+        # memoised; ``remove`` is the single path that could stale it.
+        # Reference mode never populates the memo, so every lookup takes
+        # the plain set-dictionary path.
+        self._fast = fast_paths_enabled()
+        self._last_line = -1
+        self._last_entry: Optional[CacheEntry] = None
+        # Fill count held as an attribute in fast mode (merged by
+        # flush_hot_stats at run end); reference mode bumps per fill.
+        self._n_fills = 0
 
     # ------------------------------------------------------------------
+    # The set-index computation is inlined in lookup/victim_for/insert/
+    # remove: those four sit under every memory request and a helper call
+    # per access is measurable there.
     def _set_of(self, line: int) -> Dict[int, CacheEntry]:
         index = line >> self._offset_bits
         mask = self._set_mask
@@ -91,7 +107,17 @@ class SetAssociativeCache:
 
     def lookup(self, line: int) -> Optional[CacheEntry]:
         """Return the entry for ``line`` or None, without touching LRU."""
-        return self._set_of(line).get(line)
+        if line == self._last_line:
+            return self._last_entry
+        mask = self._set_mask
+        if mask is not None:
+            entry = self._sets[(line >> self._offset_bits) & mask].get(line)
+        else:
+            entry = self._set_of(line).get(line)
+        if entry is not None and self._fast:
+            self._last_line = line
+            self._last_entry = entry
+        return entry
 
     def touch(self, entry: CacheEntry) -> None:
         """Mark ``entry`` most-recently-used."""
@@ -106,7 +132,11 @@ class SetAssociativeCache:
         replacement bias, and important here because evicting a dirty
         unpersisted line drags persist ordering into the critical path).
         """
-        cache_set = self._set_of(line)
+        mask = self._set_mask
+        if mask is not None:
+            cache_set = self._sets[(line >> self._offset_bits) & mask]
+        else:
+            cache_set = self._set_of(line)
         if line in cache_set or len(cache_set) < self.assoc:
             return None
         # Single pass: least-recently-used clean entry if one exists,
@@ -131,7 +161,11 @@ class SetAssociativeCache:
         full set raises, because silently dropping a possibly-dirty line
         would corrupt epoch bookkeeping.
         """
-        cache_set = self._set_of(line)
+        mask = self._set_mask
+        if mask is not None:
+            cache_set = self._sets[(line >> self._offset_bits) & mask]
+        else:
+            cache_set = self._set_of(line)
         entry = cache_set.get(line)
         if entry is None:
             if len(cache_set) >= self.assoc:
@@ -141,13 +175,32 @@ class SetAssociativeCache:
                 )
             entry = CacheEntry(line)
             cache_set[line] = entry
-            self._stats.bump("fills")
+            if self._fast:
+                self._n_fills += 1
+            else:
+                self._stats.bump("fills")
+        if self._fast:
+            self._last_line = line
+            self._last_entry = entry
         self.touch(entry)
         return entry
 
     def remove(self, line: int) -> Optional[CacheEntry]:
         """Remove and return the entry for ``line`` if present."""
+        if line == self._last_line:
+            self._last_line = -1
+            self._last_entry = None
+        mask = self._set_mask
+        if mask is not None:
+            return self._sets[(line >> self._offset_bits) & mask].pop(
+                line, None)
         return self._set_of(line).pop(line, None)
+
+    def flush_hot_stats(self) -> None:
+        """Merge the attribute-held fill count into the stat domain."""
+        if self._n_fills:
+            self._stats.bump("fills", self._n_fills)
+            self._n_fills = 0
 
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[CacheEntry]:

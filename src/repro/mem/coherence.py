@@ -35,6 +35,8 @@ class DirectoryEntry:
 class Directory:
     """Machine-wide line -> coherence-state map."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: Dict[int, DirectoryEntry] = {}
 
@@ -67,6 +69,12 @@ class Directory:
     def set_owner(self, line: int, core_id: int) -> None:
         """Grant ``core_id`` exclusive (M) ownership of ``line``."""
         ent = self.entry(line)
+        if ent.owner == core_id:
+            # Already the exclusive owner (``owner == c`` implies
+            # ``sharers == {c}``: any other sharer would have cleared the
+            # owner field).  Streaming store bursts hit this on every op;
+            # skip the per-call sharer-set allocation.
+            return
         ent.owner = core_id
         ent.sharers = {core_id}
 

@@ -29,6 +29,27 @@ class Mesh:
             [self._latency_between(a, b) for b in range(tiles)]
             for a in range(tiles)
         ]
+        # Endpoint-indexed views of the same table, for hot paths that
+        # would otherwise chain three method calls per message.
+        cores = config.num_cores
+        banks = config.llc_banks
+        mcs = config.num_memory_controllers
+        self.c2b = [
+            [self.core_to_bank(c, b) for b in range(banks)]
+            for c in range(cores)
+        ]
+        self.b2mc = [
+            [self.bank_to_mc(b, m) for m in range(mcs)]
+            for b in range(banks)
+        ]
+        self.c2mc = [
+            [self.core_to_mc(c, m) for m in range(mcs)]
+            for c in range(cores)
+        ]
+        self.c2c = [
+            [self.core_to_core(a, b) for b in range(cores)]
+            for a in range(cores)
+        ]
 
     # ------------------------------------------------------------------
     # Geometry

@@ -111,13 +111,57 @@ class MemoryController:
         self._image = image
         self._stats = stats
         self._busy_until = 0
+        # Hot-path accounting: every controller transaction counts a
+        # read/write and records its queue wait.  The fast path holds
+        # these in plain attributes, merged into the stat domain by
+        # flush_hot_stats() at run end; reference mode bumps/records per
+        # transaction.
+        self._fast = engine.fast
+        self._n_reads = 0
+        self._n_writes = 0
+        self._writes_by_kind: Dict[str, int] = {}
+        self._qw_sum = 0
+        self._qw_count = 0
+        self._qw_max = 0
 
     def _service_start(self, occupancy: int) -> int:
-        start = max(self._engine.now, self._busy_until)
+        now = self._engine.now
+        start = max(now, self._busy_until)
         self._busy_until = start + occupancy
-        queue_wait = start - self._engine.now
-        self._stats.record("queue_wait", queue_wait)
+        queue_wait = start - now
+        if self._fast:
+            self._qw_sum += queue_wait
+            self._qw_count += 1
+            if queue_wait > self._qw_max:
+                self._qw_max = queue_wait
+        else:
+            self._stats.record("queue_wait", queue_wait)
         return start
+
+    def flush_hot_stats(self) -> None:
+        """Merge the attribute-held counters into the stat domain.
+
+        Idempotent (counters reset as they merge); the machine calls
+        this at run end so post-run readers see exactly what per-call
+        ``bump``/``record`` would have produced.
+        """
+        stats = self._stats
+        if self._n_reads:
+            stats.bump("reads", self._n_reads)
+            self._n_reads = 0
+        if self._n_writes:
+            stats.bump("writes", self._n_writes)
+            self._n_writes = 0
+        for kind, count in self._writes_by_kind.items():
+            stats.bump(f"writes_{kind}", count)
+        self._writes_by_kind.clear()
+        if self._qw_count:
+            stats.merge_samples(
+                "queue_wait", self._qw_sum, self._qw_count, self._qw_max
+            )
+            self._qw_sum = 0
+            self._qw_count = 0
+            self._qw_max = 0
 
     # ------------------------------------------------------------------
     def read(self, line: int, callback: Callable[[int], None]) -> None:
@@ -125,8 +169,11 @@ class MemoryController:
         the data is available at the controller."""
         start = self._service_start(self._config.mc_read_occupancy)
         done = start + self._config.nvram_read_latency
-        self._stats.bump("reads")
-        self._engine.schedule_at(done, callback, done)
+        if self._fast:
+            self._n_reads += 1
+        else:
+            self._stats.bump("reads")
+        self._engine.schedule_call(done - self._engine.now, callback, done)
 
     def write(
         self,
@@ -144,8 +191,13 @@ class MemoryController:
         """
         start = self._service_start(self._config.mc_write_occupancy)
         done = start + self._config.nvram_write_latency
-        self._stats.bump("writes")
-        self._stats.bump(f"writes_{kind}")
+        if self._fast:
+            self._n_writes += 1
+            by_kind = self._writes_by_kind
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        else:
+            self._stats.bump("writes")
+            self._stats.bump(f"writes_{kind}")
 
         def _complete(time: int = done) -> None:
             if kind == "log":
@@ -159,7 +211,7 @@ class MemoryController:
             if callback is not None:
                 callback(time)
 
-        self._engine.schedule_at(done, _complete)
+        self._engine.schedule_call(done - self._engine.now, _complete)
 
     def write_log(
         self,
@@ -173,8 +225,13 @@ class MemoryController:
         """Schedule an undo-log entry write (section 5.2.1)."""
         start = self._service_start(self._config.mc_write_occupancy)
         done = start + self._config.nvram_write_latency
-        self._stats.bump("writes")
-        self._stats.bump("writes_log")
+        if self._fast:
+            self._n_writes += 1
+            by_kind = self._writes_by_kind
+            by_kind["log"] = by_kind.get("log", 0) + 1
+        else:
+            self._stats.bump("writes")
+            self._stats.bump("writes_log")
 
         def _complete() -> None:
             self._image.commit_log(
@@ -183,4 +240,4 @@ class MemoryController:
             if callback is not None:
                 callback(done)
 
-        self._engine.schedule_at(done, _complete)
+        self._engine.schedule_call(done - self._engine.now, _complete)

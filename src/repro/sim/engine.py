@@ -1,12 +1,11 @@
 """Deterministic discrete-event engine.
 
-The engine is a min-heap of :class:`Event` records keyed by
-``(time, priority, sequence)``.  The sequence number makes ordering fully
-deterministic: two events scheduled for the same cycle with the same
-priority fire in the order they were scheduled.  Determinism matters here
-because the persistence machinery is full of races (flush completions vs.
-new conflicting requests) and reproducible experiments are a hard
-requirement for the benchmark harness.
+The engine orders events by ``(time, priority, sequence)``.  The sequence
+number makes ordering fully deterministic: two events scheduled for the
+same cycle with the same priority fire in the order they were scheduled.
+Determinism matters here because the persistence machinery is full of
+races (flush completions vs. new conflicting requests) and reproducible
+experiments are a hard requirement for the benchmark harness.
 
 Components never spin; they schedule a callback for the cycle at which a
 hardware event (message arrival, NVRAM write completion, ...) would occur
@@ -14,26 +13,44 @@ and return.  Blocking behaviour (a core stalled on an online persist) is
 expressed by simply not scheduling the continuation until the unblocking
 event fires.
 
-Implementation notes:
+Implementation notes -- the two-tier queue:
 
-* Heap entries are ``(time, priority, seq, event)`` tuples rather than
-  rich objects, so ordering resolves through C-level tuple comparison
-  (the sequence number is unique, so the event itself is never
-  compared) -- a measurable win given the event volume of a multicore
-  simulation.
-* Cancellation is lazy: a cancelled event stays in the heap until it
-  reaches the head, where :meth:`Engine._discard_cancelled_head` drops
-  it.  This is the single place cancelled entries are reaped, shared by
-  :meth:`Engine.run` and :meth:`Engine.peek_time`, so both observe the
-  same head.  A live-event counter keeps :meth:`Engine.pending` O(1),
-  and when cancelled entries come to dominate a large heap the queue is
-  compacted in place so heap operations stay proportional to live work.
+* The dominant event class by far is the zero-delay continuation: every
+  op transition in :mod:`repro.cpu.processor` re-schedules itself for
+  the *current* cycle.  Routing those through a binary heap costs two
+  O(log n) operations plus an :class:`Event` allocation per transition.
+  Instead, same-cycle default-priority work goes into a plain FIFO
+  *ready deque* that is drained before the heap is consulted.
+* The drain preserves the exact ``(time, priority, seq)`` firing order:
+  every ready entry carries key ``(now, 0, seq)``, the deque is FIFO in
+  ``seq``, and the heap head (whose time is always ``>= now``) is fired
+  first whenever its key sorts below the ready head's -- i.e. when it is
+  at the current cycle with a negative priority or an older sequence
+  number.  The clock only advances off the heap, so the ready deque can
+  never hold entries from two different cycles.
+* :meth:`Engine.call_soon` is the allocation-free entry to the ready
+  deque (no :class:`Event`, no cancellation support); ``schedule(0,
+  ...)`` with default priority is routed there too but still returns a
+  cancellable :class:`Event`.
+* Timed events keep the min-heap of ``(time, priority, seq, event)``
+  tuples, so ordering resolves through C-level tuple comparison.
+  Cancellation is lazy: a cancelled event stays queued until it reaches
+  the head, where it is dropped.  A live-event counter keeps
+  :meth:`Engine.pending` O(1), and when cancelled entries come to
+  dominate a large heap the queue is compacted in place.
+* ``REPRO_SLOW_ENGINE=1`` in the environment forces the pure-heap
+  reference path (every event, including ``call_soon``, goes through
+  the heap) and disables :meth:`try_advance`.  The fast and reference
+  paths fire callbacks in bit-identical order; the determinism-digest
+  tests assert this across every persistency model.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import os
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 # Compact the heap when it holds more than this many entries and fewer
 # than half of them are live.  Small heaps are never compacted; the
@@ -41,8 +58,28 @@ from typing import Any, Callable, List, Optional, Tuple
 _COMPACT_MIN_SIZE = 64
 
 
+def _slow_engine_requested() -> bool:
+    return os.environ.get("REPRO_SLOW_ENGINE", "") not in ("", "0", "false")
+
+
+def fast_paths_enabled() -> bool:
+    """True unless ``REPRO_SLOW_ENGINE=1`` selected the reference mode.
+
+    The flag gates every hot-path shortcut in the simulator, not just
+    the engine's queues: the processor's attribute-held stat counters,
+    the cache last-line memo and the machine's accounting hoists all
+    fall back to their straightforward per-event reference
+    implementations in slow mode.  That keeps the reference run an
+    executable specification -- the determinism-digest tests assert the
+    shortcuts change nothing -- and makes the ``repro bench`` speedup an
+    honest fast-vs-reference comparison.  Read once at construction
+    time, like :class:`Engine` does.
+    """
+    return not _slow_engine_requested()
+
+
 class Event:
-    """A scheduled callback; kept alive inside the heap entry tuple."""
+    """A scheduled callback; kept alive inside the queue entry tuple."""
 
     __slots__ = ("time", "callback", "args", "cancelled", "_engine")
 
@@ -55,7 +92,7 @@ class Event:
         self._engine = engine
 
     def cancel(self) -> None:
-        """Prevent the event from firing when it reaches the heap head.
+        """Prevent the event from firing when it reaches the queue head.
 
         Idempotent: cancelling twice decrements the engine's live-event
         count exactly once.
@@ -79,11 +116,33 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: List[Tuple[int, int, int, Event]] = []
+        # Heap entries are ``(time, priority, seq, event)`` for
+        # cancellable work and ``(time, priority, seq, None, callback,
+        # args)`` for the allocation-free schedule_call path; the unique
+        # seq means tuple comparison never reaches element 3.
+        self._queue: List[Tuple] = []
+        # Same-cycle FIFO: (seq, callback, args, event-or-None).  Entries
+        # with an Event were routed from schedule(0, ...) and may be
+        # cancelled; call_soon entries carry None and cannot be.
+        self._ready: Deque[
+            Tuple[int, Callable[..., None], tuple, Optional[Event]]
+        ] = deque()
         self._seq = 0
         self._live = 0
         self.now: int = 0
         self._stopped = False
+        # True while run() is executing with no max_events bound; gates
+        # the try_advance inline fast path.
+        self._in_run = False
+        self._until: Optional[int] = None
+        # While positive, try_advance refuses to warp the clock.  Held
+        # by components that dispatch several independent continuations
+        # synchronously from one event (the epoch managers' waiter
+        # loops): an inline completion inside the first continuation
+        # must not advance ``now`` under the feet of the rest.
+        self.advance_holds = 0
+        # REPRO_SLOW_ENGINE=1 selects the pure-heap reference mode.
+        self.fast = not _slow_engine_requested()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -105,10 +164,58 @@ class Engine:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         time = self.now + delay
         event = Event(time, callback, args, engine=self)
-        heapq.heappush(self._queue, (time, priority, self._seq, event))
+        if delay == 0 and priority == 0 and self.fast:
+            self._ready.append((self._seq, callback, args, event))
+        else:
+            heapq.heappush(self._queue, (time, priority, self._seq, event))
         self._seq += 1
         self._live += 1
         return event
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Queue ``callback(*args)`` for later in the current cycle.
+
+        Equivalent to ``schedule(0, callback, *args)`` but without
+        allocating an :class:`Event`; the continuation cannot be
+        cancelled.  This is the hot-path API for the per-op state
+        transitions of :mod:`repro.cpu.processor`.
+        """
+        if self.fast:
+            self._ready.append((self._seq, callback, args, None))
+            self._seq += 1
+            self._live += 1
+        else:
+            self.schedule(0, callback, *args)
+
+    def schedule_call(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        """Schedule ``callback(*args)`` with no cancellation support.
+
+        The timed sibling of :meth:`call_soon`: same firing order as
+        ``schedule(delay, ...)`` (one sequence number is consumed either
+        way) but without allocating an :class:`Event`, for the many hot
+        callers -- core issue/compute self-schedules, memory-controller
+        completions, request completions -- that never cancel.  In
+        reference mode it degrades to plain :meth:`schedule`.
+        """
+        if not self.fast:
+            self.schedule(delay, callback, *args)
+            return
+        if delay == 0:
+            self._ready.append((self._seq, callback, args, None))
+        elif delay > 0:
+            heapq.heappush(
+                self._queue,
+                (self.now + delay, 0, self._seq, None, callback, args),
+            )
+        else:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        self._live += 1
 
     def schedule_at(
         self,
@@ -130,18 +237,24 @@ class Engine:
         if len(queue) > _COMPACT_MIN_SIZE and self._live * 2 < len(queue):
             # In-place slice assignment: ``run`` holds a local alias to
             # the queue list, so the list object must not be replaced.
-            queue[:] = [entry for entry in queue if not entry[3].cancelled]
+            queue[:] = [
+                entry for entry in queue
+                if entry[3] is None or not entry[3].cancelled
+            ]
             heapq.heapify(queue)
 
     def _discard_cancelled_head(self) -> None:
-        """Reap cancelled entries at the heap head.
+        """Reap cancelled entries at the heads of both queues.
 
-        The one place lazy deletion resolves; after it returns, the head
-        (if any) is live.  Cancelled entries were already removed from
-        the live count when they were cancelled.
+        After it returns, the ready head and heap head (if any) are
+        live.  Cancelled entries were already removed from the live
+        count when they were cancelled.
         """
+        ready = self._ready
+        while ready and ready[0][3] is not None and ready[0][3].cancelled:
+            ready.popleft()
         queue = self._queue
-        while queue and queue[0][3].cancelled:
+        while queue and queue[0][3] is not None and queue[0][3].cancelled:
             heapq.heappop(queue)
 
     # ------------------------------------------------------------------
@@ -158,23 +271,114 @@ class Engine:
         executed = 0
         self._stopped = False
         queue = self._queue
+        ready = self._ready
         pop = heapq.heappop
-        while True:
-            self._discard_cancelled_head()
-            if not queue or self._stopped:
-                break
-            if max_events is not None and executed >= max_events:
-                break
-            time = queue[0][0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            event = pop(queue)[3]
-            self._live -= 1
-            self.now = time
-            event.callback(*event.args)
-            executed += 1
+        popleft = ready.popleft
+        bounded = max_events is not None
+        self._in_run = not bounded
+        self._until = until
+        try:
+            while True:
+                # Cancelled entries are reaped lazily at dispatch: a
+                # popped entry whose event was cancelled is dropped
+                # without firing (its live count was already decremented
+                # at cancel time).  A cancelled *head* can therefore win
+                # an ordering comparison below, but winning only gets it
+                # popped and skipped, which preserves the firing order of
+                # everything live.
+                if self._stopped:
+                    break
+                if bounded and executed >= max_events:
+                    break
+                if ready:
+                    # Ready head has key (now, 0, seq).  The heap head
+                    # (time >= now) fires first only when it sorts below
+                    # that key: same cycle with a negative priority or an
+                    # older sequence number.
+                    if queue:
+                        head = queue[0]
+                        if head[0] <= self.now and (
+                            head[1] < 0
+                            or (head[1] == 0 and head[2] < ready[0][0])
+                        ):
+                            entry = pop(queue)
+                            event = entry[3]
+                            if event is None:
+                                self._live -= 1
+                                entry[4](*entry[5])
+                                executed += 1
+                            elif not event.cancelled:
+                                self._live -= 1
+                                event.callback(*event.args)
+                                executed += 1
+                            continue
+                    item = popleft()
+                    event = item[3]
+                    if event is not None and event.cancelled:
+                        continue
+                    self._live -= 1
+                    item[1](*item[2])
+                    executed += 1
+                    continue
+                if not queue:
+                    break
+                head = queue[0]
+                time = head[0]
+                if until is not None and time > until:
+                    # All heap times are >= the head's, so nothing
+                    # (cancelled or live) runs within the bound.
+                    self.now = until
+                    break
+                entry = pop(queue)
+                event = entry[3]
+                if event is not None and event.cancelled:
+                    continue
+                self._live -= 1
+                self.now = time
+                if event is None:
+                    entry[4](*entry[5])
+                else:
+                    event.callback(*event.args)
+                executed += 1
+        finally:
+            self._in_run = False
+            self._until = None
         return executed
+
+    def try_advance(self, time: int) -> bool:
+        """Claim the clock for an inline completion at ``time``.
+
+        Returns True -- advancing ``now`` to ``time`` -- exactly when a
+        callback scheduled at ``time`` would be the very next event to
+        fire: nothing is pending at or before ``time``, no component
+        holds the clock (``advance_holds``), and the active ``run()``
+        would reach it (inside a bounded run the fast path is disabled
+        so event accounting stays exact).  The caller then invokes the
+        completion directly, skipping a heap round-trip; firing order
+        is identical to the scheduled path by construction.
+
+        The hold matters for soundness: a synchronous fan-out (an epoch
+        waking several parked waiters in one event) is invisible to the
+        queues, so without the hold the first waiter could warp ``now``
+        and the remaining waiters would observe the wrong cycle.
+        """
+        if (
+            not self._in_run
+            or self._stopped
+            or not self.fast
+            or self.advance_holds
+        ):
+            return False
+        if self._until is not None and time > self._until:
+            return False
+        self._discard_cancelled_head()
+        if self._ready:
+            return False
+        queue = self._queue
+        if queue and queue[0][0] <= time:
+            return False
+        self.now = time
+        return True
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
@@ -187,4 +391,8 @@ class Engine:
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         self._discard_cancelled_head()
+        if self._ready:
+            # Ready entries are always same-cycle work: the clock cannot
+            # advance while any are queued.
+            return self.now
         return self._queue[0][0] if self._queue else None

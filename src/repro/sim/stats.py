@@ -38,6 +38,23 @@ class StatDomain:
         if prev is None or value > prev:
             self._maxes[key] = value
 
+    def merge_samples(self, key: str, total: float, count: int,
+                      maximum: float) -> None:
+        """Fold ``count`` pre-aggregated samples into the accumulator.
+
+        Exactly equivalent to ``count`` individual :meth:`record` calls
+        whose values sum to ``total`` with maximum ``maximum`` -- the
+        merge point for hot-path code that accumulates samples in plain
+        attributes and flushes them once at run end.
+        """
+        if count == 0:
+            return
+        self._sums[key] += total
+        self._counts[key] += count
+        prev = self._maxes.get(key)
+        if prev is None or maximum > prev:
+            self._maxes[key] = maximum
+
     def mean(self, key: str) -> float:
         n = self._counts.get(key, 0)
         return self._sums[key] / n if n else 0.0

@@ -48,6 +48,12 @@ from repro.sim.trace import Tracer
 
 _MAX_REQUEST_RETRIES = 1000
 
+# Bound on nested inline completions: a streak of conflict-free L1 hits
+# re-enters the request machinery recursively (completion -> next op ->
+# hit -> completion ...); past this depth the completion falls back to
+# the scheduler so the Python stack stays shallow.
+_MAX_INLINE_DEPTH = 32
+
 
 class SimulationError(RuntimeError):
     """An internal invariant was violated (a simulator bug, not a model
@@ -202,12 +208,111 @@ class Multicore:
         self._active_cores = 0
         self._finish_time: Optional[int] = None
         self._conflict_stats = self.stats.domain("conflicts")
+        # Hot-path caches: stat domains resolved once instead of via an
+        # f-string dict lookup per request, and the core->bank leg of the
+        # request latency precomputed per (core, bank) pair.
+        self._core_domains = [
+            self.stats.domain(f"core{i}") for i in range(config.num_cores)
+        ]
+        self._l1_domains = [
+            self.stats.domain(f"l1.{i}") for i in range(config.num_cores)
+        ]
+        self._llc_domain = llc_stats
+        self._base_lat = [
+            [
+                config.l1_latency
+                + 2 * self.mesh.core_to_bank(core, bank)
+                + config.llc_latency
+                for bank in range(config.llc_banks)
+            ]
+            for core in range(config.num_cores)
+        ]
+        # One-way L1->bank travel leg of a memory fill, per (core, bank);
+        # the bank->MC leg is added from the mesh's b2mc table per line.
+        self._fill_travel = [
+            [
+                config.l1_latency
+                + self.mesh.core_to_bank(core, bank)
+                + config.llc_latency
+                for bank in range(config.llc_banks)
+            ]
+            for core in range(config.num_cores)
+        ]
+        self._inline_depth = 0
+        # Per-request accounting hoists (reference mode takes the
+        # seed-faithful per-op path instead: f-string domain lookups and
+        # a bump/record per request).  L1 hit counts, LLC access counts,
+        # flush counts and memory-latency samples accumulate in plain
+        # attributes and merge into the stat domains once, at run end
+        # (_flush_hot_stats).
+        self._fast = self.engine.fast
+        self._l1_lat = config.l1_latency
+        n = config.num_cores
+        self._l1_hit_counts = [0] * n
+        self._lat_sums = [0] * n
+        self._lat_counts = [0] * n
+        self._lat_maxes = [0] * n
+        self._n_llc_hits = 0
+        self._n_llc_misses = 0
+        self._n_llc_forwards = 0
+        self._n_llc_fill_races = 0
+        self._n_llc_dirty_evictions = 0
+        self._flush_domain = self.stats.domain("flush")
+        self._n_epoch_flushes = 0
+        self._fel_sum = 0
+        self._fel_count = 0
+        self._fel_max = 0
 
     # ------------------------------------------------------------------
     # Public request API (called by cores)
     # ------------------------------------------------------------------
+    # The fused fast paths below collapse the conflict-free L1-hit case
+    # of load/store into the entry call: no _Request allocation, no
+    # dispatcher hops, the clock-claim check from Engine.try_advance
+    # inlined (conservatively: a cancelled ready-queue head refuses
+    # instead of reaping, which only falls back to the scheduled path).
+    # Every state transition and every count matches the general path
+    # bit for bit -- the determinism-digest tests compare against the
+    # reference mode, which always takes the general path.
+
     def load(self, core_id: int, line: int,
              on_done: Callable[[int], None]) -> None:
+        if self._fast:
+            l1 = self.l1s[core_id]
+            if line == l1._last_line:
+                entry = l1._last_entry
+            else:
+                entry = l1.lookup(line)
+            if entry is not None:
+                l1._tick = tick = l1._tick + 1
+                entry._lru = tick
+                self._l1_hit_counts[core_id] += 1
+                lat = self._l1_lat
+                self._lat_sums[core_id] += lat
+                self._lat_counts[core_id] += 1
+                if lat > self._lat_maxes[core_id]:
+                    self._lat_maxes[core_id] = lat
+                eng = self.engine
+                done = eng.now + lat
+                queue = eng._queue
+                if (
+                    self._inline_depth < _MAX_INLINE_DEPTH
+                    and eng._in_run
+                    and not eng._stopped
+                    and not eng.advance_holds
+                    and not eng._ready
+                    and (not queue or queue[0][0] > done)
+                    and (eng._until is None or done <= eng._until)
+                ):
+                    eng.now = done
+                    self._inline_depth += 1
+                    try:
+                        on_done(done)
+                    finally:
+                        self._inline_depth -= 1
+                    return
+                eng.schedule_call(lat, on_done, done)
+                return
         req = _Request(core_id, line, False, None, None, on_done)
         req.issue_time = self.engine.now
         self._try_access(req)
@@ -223,6 +328,57 @@ class Multicore:
         wt_async: bool = False,
         on_persist_ack: Optional[Callable[[int], None]] = None,
     ) -> None:
+        if (
+            self._fast
+            and epoch is not None
+            and not persist_sync
+            and not wt_async
+        ):
+            resolved = epoch.resolve()
+            l1 = self.l1s[core_id]
+            if line == l1._last_line:
+                entry = l1._last_entry
+            else:
+                entry = l1.lookup(line)
+            if entry is not None and entry.dirty and entry.epoch is resolved:
+                # Same-epoch store to an owned M-state line: no logging
+                # (the line is already dirty under this epoch), no
+                # conflict checks, ownership already held.
+                self.directory.set_owner(line, core_id)
+                resolved.lines.add(line)
+                resolved.all_lines.add(line)
+                if self.track_values and values:
+                    if entry.values is None:
+                        entry.values = {}
+                    entry.values.update(values)
+                l1._tick = tick = l1._tick + 1
+                entry._lru = tick
+                lat = self._l1_lat
+                self._lat_sums[core_id] += lat
+                self._lat_counts[core_id] += 1
+                if lat > self._lat_maxes[core_id]:
+                    self._lat_maxes[core_id] = lat
+                eng = self.engine
+                done = eng.now + lat
+                queue = eng._queue
+                if (
+                    self._inline_depth < _MAX_INLINE_DEPTH
+                    and eng._in_run
+                    and not eng._stopped
+                    and not eng.advance_holds
+                    and not eng._ready
+                    and (not queue or queue[0][0] > done)
+                    and (eng._until is None or done <= eng._until)
+                ):
+                    eng.now = done
+                    self._inline_depth += 1
+                    try:
+                        on_done(done)
+                    finally:
+                        self._inline_depth -= 1
+                    return
+                eng.schedule_call(lat, on_done, done)
+                return
         req = _Request(core_id, line, True, values, epoch, on_done)
         req.persist_sync = persist_sync
         req.wt_async = wt_async
@@ -251,9 +407,37 @@ class Multicore:
 
     def _complete(self, req: _Request, latency: int) -> None:
         done = self.engine.now + latency
-        domain = self.stats.domain(f"core{req.core_id}")
-        domain.record("mem_latency", done - req.issue_time)
-        self.engine.schedule(latency, req.on_done, done)
+        if not self._fast:
+            # Reference path: the straightforward per-request form --
+            # domain resolved by f-string, one record per completion, a
+            # heap event for the continuation.
+            domain = self.stats.domain(f"core{req.core_id}")
+            domain.record("mem_latency", done - req.issue_time)
+            self.engine.schedule(latency, req.on_done, done)
+            return
+        sample = done - req.issue_time
+        core_id = req.core_id
+        self._lat_sums[core_id] += sample
+        self._lat_counts[core_id] += 1
+        if sample > self._lat_maxes[core_id]:
+            self._lat_maxes[core_id] = sample
+        # Synchronous fast path: when this completion would be the very
+        # next event anyway (nothing else pending at or before ``done``),
+        # skip the scheduler round-trip and invoke it inline.  The
+        # engine's try_advance enforces exactness -- the firing order is
+        # identical to the scheduled path -- and the depth guard keeps
+        # hit streaks from growing the Python stack unboundedly.
+        if (
+            self._inline_depth < _MAX_INLINE_DEPTH
+            and self.engine.try_advance(done)
+        ):
+            self._inline_depth += 1
+            try:
+                req.on_done(done)
+            finally:
+                self._inline_depth -= 1
+            return
+        self.engine.schedule_call(latency, req.on_done, done)
 
     # -- loads -----------------------------------------------------------
     def _try_load(self, req: _Request) -> None:
@@ -262,16 +446,22 @@ class Multicore:
         entry = l1.lookup(line)
         if entry is not None:
             l1.touch(entry)
-            self.stats.domain(f"l1.{core_id}").bump("hits")
+            if self._fast:
+                self._l1_hit_counts[core_id] += 1
+            else:
+                self.stats.domain(f"l1.{core_id}").bump("hits")
             self._complete(req, self.config.l1_latency)
             return
 
         bank = self.amap.bank_of(line)
-        base_lat = (
-            self.config.l1_latency
-            + 2 * self.mesh.core_to_bank(core_id, bank)
-            + self.config.llc_latency
-        )
+        if self._fast:
+            base_lat = self._base_lat[core_id][bank]
+        else:
+            base_lat = (
+                self.config.l1_latency
+                + 2 * self.mesh.core_to_bank(core_id, bank)
+                + self.config.llc_latency
+            )
         owner = self.directory.owner_of(line)
         if owner is not None and owner != core_id:
             o_entry = self.l1s[owner].lookup(line)
@@ -287,8 +477,13 @@ class Multicore:
                 if not self._fill_l1(core_id, line, req):
                     return
                 self.directory.add_sharer(line, core_id)
-                lat = base_lat + 2 * self.mesh.core_to_core(owner, core_id)
-                self.stats.domain("llc").bump("forwards")
+                if self._fast:
+                    lat = base_lat + 2 * self.mesh.c2c[owner][core_id]
+                    self._n_llc_forwards += 1
+                else:
+                    lat = base_lat + 2 * self.mesh.core_to_core(
+                        owner, core_id)
+                    self.stats.domain("llc").bump("forwards")
                 self._complete(req, lat)
                 return
             # Stale ownership record (the dirty copy was cleaned/evicted).
@@ -306,11 +501,17 @@ class Multicore:
             if not self._fill_l1(core_id, line, req, source=llc_entry):
                 return
             self.directory.add_sharer(line, core_id)
-            self.stats.domain("llc").bump("hits")
+            if self._fast:
+                self._n_llc_hits += 1
+            else:
+                self.stats.domain("llc").bump("hits")
             self._complete(req, base_lat)
             return
 
-        self.stats.domain("llc").bump("misses")
+        if self._fast:
+            self._n_llc_misses += 1
+        else:
+            self.stats.domain("llc").bump("misses")
         self._mem_read_fill(req, bank)
 
     # -- stores ----------------------------------------------------------
@@ -335,11 +536,14 @@ class Multicore:
             return
 
         bank = self.amap.bank_of(line)
-        base_lat = (
-            self.config.l1_latency
-            + 2 * self.mesh.core_to_bank(core_id, bank)
-            + self.config.llc_latency
-        )
+        if self._fast:
+            base_lat = self._base_lat[core_id][bank]
+        else:
+            base_lat = (
+                self.config.l1_latency
+                + 2 * self.mesh.core_to_bank(core_id, bank)
+                + self.config.llc_latency
+            )
         owner = self.directory.owner_of(line)
         extra_lat = 0
         if owner is not None and owner != core_id:
@@ -355,7 +559,10 @@ class Multicore:
                 if not self._writeback_to_llc(owner, o_entry, req,
                                               invalidate=True):
                     return
-                extra_lat = 2 * self.mesh.core_to_core(owner, core_id)
+                if self._fast:
+                    extra_lat = 2 * self.mesh.c2c[owner][core_id]
+                else:
+                    extra_lat = 2 * self.mesh.core_to_core(owner, core_id)
             else:
                 if o_entry is not None:
                     self.l1s[owner].remove(line)
@@ -468,14 +675,14 @@ class Multicore:
             def issue_sync() -> None:
                 mc.write(line, req.core_id, -1, "data", values,
                          callback=lambda t: req.on_done(t))
-            self.engine.schedule(latency + travel, issue_sync)
+            self.engine.schedule_call(latency + travel, issue_sync)
         else:
             ack = req.on_persist_ack
 
             def issue_async() -> None:
                 mc.write(line, req.core_id, -1, "data", values,
                          callback=ack)
-            self.engine.schedule(latency + travel, issue_async)
+            self.engine.schedule_call(latency + travel, issue_async)
             self._complete(req, latency)
 
     # ------------------------------------------------------------------
@@ -637,10 +844,10 @@ class Multicore:
             if victim.unpersisted:
                 if not self._eviction_allowed(victim.epoch, req):
                     return False
-                self.stats.domain("llc").bump("dirty_evictions")
+                self._note_dirty_eviction()
                 self.persist_line(victim, victim.epoch, kind="eviction")
                 return True
-            self.stats.domain("llc").bump("dirty_evictions")
+            self._note_dirty_eviction()
             self.persist_line(victim, None, kind="eviction",
                               evictor_core=req.core_id)
             return True
@@ -674,17 +881,22 @@ class Multicore:
                        extra_lat: int = 0) -> None:
         line = req.line
         mc_id = self.amap.mc_of(line)
-        travel = (
-            self.config.l1_latency
-            + self.mesh.core_to_bank(req.core_id, bank)
-            + self.config.llc_latency
-            + self.mesh.bank_to_mc(bank, mc_id)
-        )
-        delivery = (
-            self.mesh.bank_to_mc(bank, mc_id)
-            + self.mesh.core_to_bank(req.core_id, bank)
-            + extra_lat
-        )
+        if self._fast:
+            bank_mc = self.mesh.b2mc[bank][mc_id]
+            travel = self._fill_travel[req.core_id][bank] + bank_mc
+            delivery = bank_mc + self.mesh.c2b[req.core_id][bank] + extra_lat
+        else:
+            travel = (
+                self.config.l1_latency
+                + self.mesh.core_to_bank(req.core_id, bank)
+                + self.config.llc_latency
+                + self.mesh.bank_to_mc(bank, mc_id)
+            )
+            delivery = (
+                self.mesh.bank_to_mc(bank, mc_id)
+                + self.mesh.core_to_bank(req.core_id, bank)
+                + extra_lat
+            )
 
         def at_mc() -> None:
             self.mcs[mc_id].read(line, filled)
@@ -699,7 +911,10 @@ class Multicore:
                 # version) while our read was at the memory controller;
                 # reclassify from scratch so ownership and conflict
                 # checks see the new state.
-                self.stats.domain("llc").bump("fill_races")
+                if self._fast:
+                    self._n_llc_fill_races += 1
+                else:
+                    self.stats.domain("llc").bump("fill_races")
                 self._try_access(req)
                 return
             if raced_entry is None:
@@ -721,7 +936,7 @@ class Multicore:
                 self.directory.add_sharer(line, req.core_id)
                 self._complete(req, delivery)
 
-        self.engine.schedule(travel, at_mc)
+        self.engine.schedule_call(travel, at_mc)
 
     # ------------------------------------------------------------------
     # Persistence primitives
@@ -811,7 +1026,7 @@ class Multicore:
             mc.write(line, core_id, seq, kind, values, callback=ack)
 
         if extra_delay:
-            self.engine.schedule(extra_delay, issue)
+            self.engine.schedule_call(extra_delay, issue)
         else:
             issue()
 
@@ -872,6 +1087,8 @@ class Multicore:
         for core in self.cores:
             core.start()
         self.engine.run(until=max_cycles)
+        for core in self.cores:
+            core.flush_hot_stats()
 
         finished = self._finish_time is not None
         cycles_visible = self._finish_time
@@ -891,6 +1108,7 @@ class Multicore:
             )
             if drained:
                 cycles_durable = self.engine.now
+        self._flush_hot_stats()
         return RunResult(
             cycles_visible=cycles_visible,
             cycles_durable=cycles_durable,
@@ -898,6 +1116,76 @@ class Multicore:
             config=self.config,
             finished=finished,
         )
+
+    def _note_epoch_flush(self, num_lines: int) -> None:
+        """Account one epoch flush (called by FlushOperation.start)."""
+        if self._fast:
+            self._n_epoch_flushes += 1
+            self._fel_sum += num_lines
+            self._fel_count += 1
+            if num_lines > self._fel_max:
+                self._fel_max = num_lines
+        else:
+            self._flush_domain.bump("epoch_flushes")
+            self._flush_domain.record("flush_epoch_lines", num_lines)
+
+    def _note_dirty_eviction(self) -> None:
+        if self._fast:
+            self._n_llc_dirty_evictions += 1
+        else:
+            self.stats.domain("llc").bump("dirty_evictions")
+
+    def _flush_hot_stats(self) -> None:
+        """Merge all attribute-held hot counters into the stat domains.
+
+        Covers the machine's own hoists (L1 hit counts, LLC access and
+        flush counts, memory-latency samples), the cache arrays' fill
+        counts and the memory controllers'; the cores flush their own
+        right after the visible phase.  Idempotent, like the component
+        flushes it delegates to.
+        """
+        for core_id in range(self.config.num_cores):
+            hits = self._l1_hit_counts[core_id]
+            if hits:
+                self._l1_domains[core_id].bump("hits", hits)
+                self._l1_hit_counts[core_id] = 0
+            count = self._lat_counts[core_id]
+            if count:
+                self._core_domains[core_id].merge_samples(
+                    "mem_latency", self._lat_sums[core_id], count,
+                    self._lat_maxes[core_id],
+                )
+                self._lat_sums[core_id] = 0
+                self._lat_counts[core_id] = 0
+                self._lat_maxes[core_id] = 0
+        llc = self._llc_domain
+        for key, value in (
+            ("hits", self._n_llc_hits),
+            ("misses", self._n_llc_misses),
+            ("forwards", self._n_llc_forwards),
+            ("fill_races", self._n_llc_fill_races),
+            ("dirty_evictions", self._n_llc_dirty_evictions),
+        ):
+            if value:
+                llc.bump(key, value)
+        self._n_llc_hits = self._n_llc_misses = 0
+        self._n_llc_forwards = self._n_llc_fill_races = 0
+        self._n_llc_dirty_evictions = 0
+        if self._n_epoch_flushes:
+            self._flush_domain.bump("epoch_flushes", self._n_epoch_flushes)
+            self._n_epoch_flushes = 0
+        if self._fel_count:
+            self._flush_domain.merge_samples(
+                "flush_epoch_lines", self._fel_sum, self._fel_count,
+                self._fel_max,
+            )
+            self._fel_sum = self._fel_count = self._fel_max = 0
+        for cache in self.l1s:
+            cache.flush_hot_stats()
+        for cache in self.llc_banks:
+            cache.flush_hot_stats()
+        for mc in self.mcs:
+            mc.flush_hot_stats()
 
     # ------------------------------------------------------------------
     # Invariant auditing (used by the test suite)

@@ -37,7 +37,7 @@ class OpKind(enum.Enum):
     STRAND = "strand"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
     kind: OpKind
     addr: int = 0

@@ -15,6 +15,10 @@ rbtree     insert/delete nodes in a red-black tree
 sdg        insert/delete edges in a scalable directed graph
 sps        random swaps between entries in an array
 =========  =====================================================
+
+The package also registers ``hotset``, a cache-resident read-mostly loop
+used by the single-run engine benchmark (not part of Table 2; see
+:mod:`repro.workloads.micro.hotset`).
 """
 
 from repro.workloads.micro.common import (
@@ -24,6 +28,7 @@ from repro.workloads.micro.common import (
     make_benchmark,
 )
 from repro.workloads.micro.hashtable import HashTableWorkload
+from repro.workloads.micro.hotset import HotSetWorkload
 from repro.workloads.micro.queue import QueueWorkload
 from repro.workloads.micro.rbtree import RBTreeWorkload
 from repro.workloads.micro.sdg import SDGWorkload
@@ -32,6 +37,7 @@ from repro.workloads.micro.sps import SPSWorkload
 __all__ = [
     "ENTRY_SIZE",
     "HashTableWorkload",
+    "HotSetWorkload",
     "MICROBENCHMARKS",
     "MicroBenchmark",
     "QueueWorkload",

@@ -114,3 +114,26 @@ def test_unpersisted_requires_dirty_and_live_epoch():
 def test_invalid_geometry_rejected():
     with pytest.raises(ValueError):
         make_cache(num_sets=0)
+
+
+def test_lookup_memo_invalidated_by_remove():
+    """The last-line memo must never serve a removed entry."""
+    cache = make_cache()
+    line = addr(1, 0)
+    entry = cache.insert(line)
+    assert cache.lookup(line) is entry  # memoised
+    cache.remove(line)
+    assert cache.lookup(line) is None
+    fresh = cache.insert(line)
+    assert fresh is not entry
+    assert cache.lookup(line) is fresh
+
+
+def test_lookup_memo_repeated_hits_same_entry():
+    cache = make_cache()
+    a, b = addr(0, 0), addr(0, 1)
+    ea, eb = cache.insert(a), cache.insert(b)
+    for _ in range(3):
+        assert cache.lookup(a) is ea
+    assert cache.lookup(b) is eb
+    assert cache.lookup(a) is ea

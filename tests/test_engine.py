@@ -202,3 +202,172 @@ def test_pending_counts_executed_events_down():
     assert engine.pending() == 3
     engine.run()
     assert engine.pending() == 0
+
+
+def test_call_soon_fires_in_order_with_schedule_zero():
+    engine = Engine()
+    fired = []
+    engine.call_soon(fired.append, "a")
+    engine.schedule(0, fired.append, "b")
+    engine.call_soon(fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 0
+
+
+def test_call_soon_runs_after_earlier_timed_event_same_cycle():
+    engine = Engine()
+    fired = []
+
+    def at_five():
+        fired.append("timed")
+        engine.call_soon(fired.append, "soon")
+        engine.schedule(0, fired.append, "zero")
+
+    engine.schedule(5, at_five)
+    engine.schedule(5, fired.append, "second-timed")
+    engine.run()
+    # Both continuations were queued after second-timed's seq, so the
+    # heap entry fires first even though the ready queue is non-empty.
+    assert fired == ["timed", "second-timed", "soon", "zero"]
+
+
+def test_schedule_zero_event_cancellable_on_ready_path():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(0, fired.append, "cancelled")
+    engine.call_soon(fired.append, "kept")
+    event.cancel()
+    assert engine.pending() == 1
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_negative_priority_timed_event_precedes_ready_work():
+    engine = Engine()
+    fired = []
+    engine.call_soon(fired.append, "soon")
+    engine.schedule(0, fired.append, "urgent", priority=-1)
+    engine.run()
+    assert fired == ["urgent", "soon"]
+
+
+def test_try_advance_refused_outside_run():
+    engine = Engine()
+    assert not engine.try_advance(10)
+    assert engine.now == 0
+
+
+def _fast_engine() -> Engine:
+    """An engine pinned to fast mode, regardless of REPRO_SLOW_ENGINE.
+
+    The fast-path tests assert fast-path behaviour; the suite itself may
+    legitimately run under the reference env var.
+    """
+    engine = Engine()
+    engine.fast = True
+    return engine
+
+
+def test_try_advance_claims_clock_when_next():
+    engine = _fast_engine()
+    seen = {}
+
+    def handler():
+        # Nothing else queued: the completion at now+7 is the next event.
+        seen["claimed"] = engine.try_advance(engine.now + 7)
+        seen["now"] = engine.now
+
+    engine.schedule(3, handler)
+    engine.run()
+    assert seen == {"claimed": True, "now": 10}
+    assert engine.now == 10
+
+
+def test_try_advance_refused_when_work_pending():
+    engine = _fast_engine()
+    seen = {}
+
+    def handler():
+        engine.call_soon(lambda: None)
+        seen["with-ready"] = engine.try_advance(engine.now + 7)
+
+    def later():
+        # A timed event at t=5 precedes a completion at t=10.
+        seen["with-earlier-heap"] = engine.try_advance(engine.now + 9)
+
+    engine.schedule(1, handler)
+    engine.schedule(1, later)
+    engine.schedule(5, lambda: None)
+    engine.run()
+    assert seen == {"with-ready": False, "with-earlier-heap": False}
+
+
+def test_try_advance_respects_until_bound():
+    engine = _fast_engine()
+    seen = {}
+
+    def handler():
+        seen["past-bound"] = engine.try_advance(100)
+        seen["at-bound"] = engine.try_advance(50)
+
+    engine.schedule(2, handler)
+    engine.run(until=50)
+    assert seen == {"past-bound": False, "at-bound": True}
+
+
+def test_try_advance_refused_while_clock_held():
+    engine = _fast_engine()
+    seen = {}
+
+    def handler():
+        engine.advance_holds += 1
+        try:
+            seen["held"] = engine.try_advance(engine.now + 7)
+        finally:
+            engine.advance_holds -= 1
+        seen["released"] = engine.try_advance(engine.now + 7)
+
+    engine.schedule(3, handler)
+    engine.run()
+    # While held the clock must not move; after release the claim works.
+    assert seen == {"held": False, "released": True}
+    assert engine.now == 10
+
+
+def test_schedule_call_matches_schedule_ordering():
+    engine = _fast_engine()
+    fired = []
+    engine.schedule_call(5, fired.append, "first")
+    engine.schedule(5, fired.append, "second")
+    engine.schedule_call(5, fired.append, "third")
+    engine.schedule_call(0, fired.append, "soon")
+    engine.run()
+    assert fired == ["soon", "first", "second", "third"]
+    assert engine.now == 5
+
+
+def test_schedule_call_rejects_negative_delay():
+    engine = _fast_engine()
+    try:
+        engine.schedule_call(-1, lambda: None)
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("negative delay must raise")
+
+
+def test_slow_mode_routes_everything_through_heap(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_ENGINE", "1")
+    engine = Engine()
+    assert not engine.fast
+    fired = []
+    engine.call_soon(fired.append, "a")
+    engine.schedule(0, fired.append, "b")
+    assert not engine._ready  # everything heads to the heap
+    seen = {}
+    engine.schedule(1, lambda: seen.setdefault(
+        "advance", engine.try_advance(5)))
+    engine.run()
+    assert fired == ["a", "b"]
+    assert seen == {"advance": False}

@@ -18,9 +18,19 @@ from repro.workloads.micro import (
 
 ALL_NAMES = ["hash", "queue", "rbtree", "sdg", "sps"]
 
+# Simulator-only workloads: registered with the factory but not part of
+# Table 2 (and so excluded from the paper's figure sweeps).
+EXTRA_NAMES = ["hotset"]
+
 
 def test_registry_matches_table2():
-    assert sorted(MICROBENCHMARKS) == sorted(ALL_NAMES)
+    assert sorted(MICROBENCHMARKS) == sorted(ALL_NAMES + EXTRA_NAMES)
+
+
+def test_figure_sweeps_pin_table2():
+    from repro.harness.experiments import BEP_BENCHMARKS
+
+    assert BEP_BENCHMARKS == sorted(ALL_NAMES)
 
 
 def test_entry_size_matches_paper():
@@ -32,7 +42,7 @@ def test_make_benchmark_unknown_name():
         make_benchmark("btree")
 
 
-@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("name", ALL_NAMES + EXTRA_NAMES)
 def test_ops_are_well_formed(name):
     bench = make_benchmark(name, thread_id=0, seed=3)
     ops = list(bench.ops(30))
@@ -48,7 +58,7 @@ def test_ops_are_well_formed(name):
     assert sum(1 for op in ops if op.kind is OpKind.TXN_MARK) == 30
 
 
-@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("name", ALL_NAMES + EXTRA_NAMES)
 def test_deterministic_given_seed(name):
     a = list(make_benchmark(name, thread_id=1, seed=7).ops(20))
     b = list(make_benchmark(name, thread_id=1, seed=7).ops(20))
@@ -56,7 +66,7 @@ def test_deterministic_given_seed(name):
         [(o.kind, o.addr, o.size) for o in b]
 
 
-@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("name", ALL_NAMES + EXTRA_NAMES)
 def test_threads_use_disjoint_private_heaps(name):
     a = make_benchmark(name, thread_id=0, seed=1)
     b = make_benchmark(name, thread_id=1, seed=1)
@@ -69,7 +79,7 @@ def test_threads_use_disjoint_private_heaps(name):
     assert all(addr < 0x1000_0000 for addr in shared)
 
 
-@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("name", ALL_NAMES + EXTRA_NAMES)
 def test_runs_to_completion_on_machine(name):
     config = MachineConfig.tiny(
         barrier_design=BarrierDesign.LB_PP,
@@ -171,3 +181,56 @@ def test_sps_shadow_is_always_a_permutation():
     drain(bench.ops(80))
     assert sorted(bench.shadow) == list(range(32))
     assert bench.swaps == 80
+
+
+# ----------------------------------------------------------------------
+# hotset: the cache-resident engine benchmark
+# ----------------------------------------------------------------------
+def test_hotset_is_read_mostly():
+    bench = make_benchmark("hotset", thread_id=0, seed=3)
+    ops = [op for op in bench.ops(32)]
+    loads = sum(1 for op in ops if op.kind is OpKind.LOAD)
+    stores = sum(1 for op in ops if op.kind is OpKind.STORE)
+    barriers = sum(1 for op in ops if op.kind is OpKind.BARRIER)
+    # 64 loads and 4 stores per transaction, plus the 8-line warm-up.
+    assert loads == 32 * 64 + 8
+    assert stores == 32 * 4
+    # One barrier per 8 transactions plus the post-setup barrier; no
+    # shared-statistics barriers.
+    assert barriers == 32 // 8 + 1
+
+
+def test_hotset_accesses_stay_in_hot_set():
+    bench = make_benchmark("hotset", thread_id=0, seed=3)
+    ops = list(bench.ops(20))
+    lines = {op.addr & ~63 for op in ops
+             if op.kind in (OpKind.LOAD, OpKind.STORE)}
+    assert len(lines) == 8
+    store_lines = {op.addr & ~63 for op in ops if op.kind is OpKind.STORE}
+    assert len(store_lines) == 4
+    assert store_lines < lines
+
+
+def test_hotset_store_subset_validated():
+    with pytest.raises(ValueError):
+        make_benchmark("hotset", hot_lines=4, store_lines=8)
+
+
+def test_hotset_is_hit_dominated_on_machine():
+    config = MachineConfig.tiny(
+        barrier_design=BarrierDesign.LB_IDT,
+        persistency=PersistencyModel.BEP,
+        num_cores=1,
+    )
+    m = Multicore(config)
+    programs = [make_benchmark("hotset", thread_id=0, seed=2,
+                               line_size=config.line_size).ops(40)]
+    result = m.run(programs)
+    assert result.finished
+    l1 = m.stats.domain("l1.0")
+    # The working set is 8 lines: after the warm-up fills, everything
+    # hits.  This is the property that makes hotset the headline
+    # single-run benchmark.
+    assert l1.get("fills") <= 8
+    assert l1.get("hits") >= 100 * l1.get("fills")
+    m.audit()
