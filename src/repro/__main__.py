@@ -100,10 +100,13 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import run_bench
-    run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
-              transactions=args.transactions, profile=args.profile,
-              sweep=not args.no_sweep)
+    from repro.harness.bench import digests_ok, run_bench
+    record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
+                       transactions=args.transactions, profile=args.profile,
+                       sweep=not args.no_sweep, workload=args.workload)
+    if args.check_digests and not digests_ok(record):
+        print("[bench] ERROR: fast/reference digest mismatch")
+        return 1
     return 0
 
 
@@ -238,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "BENCH_profile.txt")
     bench_p.add_argument("--no-sweep", action="store_true",
                          help="skip the sweep-executor timing (smoke mode)")
+    bench_p.add_argument("--workload", default=None,
+                         help="micro for the flush-bound run and --profile "
+                              "(default flushbound)")
+    bench_p.add_argument("--check-digests", action="store_true",
+                         help="exit nonzero unless every fast-vs-reference "
+                              "digest and crash-recovery verdict matches")
     bench_p.add_argument("--output", default="BENCH_sweep.json")
     bench_p.set_defaults(func=cmd_bench)
 

@@ -42,7 +42,15 @@ class Arbiter:
         # Highest epoch seq with an *online* waiter, per strand; demand
         # up to this seq propagates to IDT source arbiters.
         self._online_horizon: dict = {}
+        # The flush-handshake engine is pooled: one reusable operation
+        # per arbiter, begun per epoch.  ``active`` points at it while a
+        # flush is in flight.
+        self._flush_op = FlushOperation(machine, self._flush_done)
         self.active: Optional[FlushOperation] = None
+        # Reusable strand-seen scratch set for the pump's candidate walk
+        # (the pump runs after every flush completion and unblock event,
+        # and iterates a window of up to eight epochs each time).
+        self._seen: set = set()
 
     # ------------------------------------------------------------------
     # Requests
@@ -87,11 +95,20 @@ class Arbiter:
         """
         if self.active is not None:
             return
-        candidates = self._manager.flush_candidates(
-            lambda strand: self._flush_horizon.get(strand, -1)
-        )
+        # The candidate walk (EpochManager.flush_candidates) is inlined:
+        # each strand's head epoch that is within its flush horizon, in
+        # window order, with the horizon read straight off the dict.
+        horizon = self._flush_horizon.get
+        seen = self._seen
+        seen.clear()
         head = None
-        for candidate in candidates:
+        for candidate in self._manager.window:
+            strand = candidate.strand
+            if strand in seen:
+                continue
+            seen.add(strand)
+            if candidate.seq > horizon(strand, -1):
+                continue
             if candidate.ongoing:
                 # The horizon can only cover an ongoing epoch transiently
                 # (e.g. requests raced with a split); wait for its barrier.
@@ -105,7 +122,8 @@ class Arbiter:
                 candidate.strand, -1
             )
             blocked = False
-            for source in list(candidate.idt_sources):
+            for source in (list(candidate.idt_sources)
+                           if candidate.idt_sources else ()):
                 if source.persisted:
                     continue
                 blocked = True
@@ -137,8 +155,8 @@ class Arbiter:
                 self._machine.engine.now, "flush_start", self.core_id,
                 epoch=str(head), online=online, lines=len(head.lines),
             )
-        self.active = FlushOperation(self._machine, head, self._flush_done)
-        self.active.start()
+        self.active = self._flush_op
+        self._flush_op.begin(head)
 
     def _flush_done(self, epoch: Epoch) -> None:
         self.active = None

@@ -20,11 +20,29 @@ Flushes are non-invalidating by default (clwb-like): lines stay cached
 and merely become clean.  In CLFLUSH mode the flush also invalidates
 every cached copy, which the paper measures as ~30% slower because the
 working set must be refetched from NVRAM.
+
+Implementation notes (the flush fast path; docs/simulation-model.md has
+the full invariant list):
+
+* One :class:`FlushOperation` is owned and reused by each arbiter --
+  ``begin(epoch)`` resets its array-indexed per-bank state instead of
+  allocating dicts and closures per flush.
+* The per-bank issue schedule is precomputed in ``begin``: issue times,
+  controller arrival times, and the FIFO service reservation for every
+  (bank -> controller) run are all known up front, so each bank needs
+  one self-rescheduling walker event instead of an event per line, and
+  the memory controller needs one commit-walker per run instead of a
+  closure per line.
+* Cache-side transitions still happen at each line's exact issue time
+  (via the walker), and NVRAM commits at each line's exact completion
+  time (via the run walker) -- which is what keeps conflict
+  classification and crash truncation identical to per-line issue.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.epoch import Epoch
 from repro.sim.config import FlushMode
@@ -36,139 +54,291 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 # (the engine walks its per-epoch set bitmap; section 4.3).
 FLUSH_PIPELINE_INTERVAL = 4
 
+# Per-bank handshake states, in strict forward order.  A bank that has
+# left _ISSUING can never re-enter it within one flush, and _ACKED is
+# terminal: the state machine makes a double BankAck structurally
+# impossible (it raises instead of corrupting the ack count).
+_IDLE = 0
+_ISSUING = 1
+_ISSUE_DONE = 2
+_ACK_SENT = 3
+_ACKED = 4
+
 
 class FlushOperation:
-    """One epoch flush handshake in flight."""
+    """The flush-handshake engine of one arbiter (pooled, reusable).
+
+    ``begin(epoch)`` starts one epoch flush; the object recycles itself
+    when PersistCMP fires, so an arbiter drives all its flushes through
+    a single instance.
+    """
+
+    __slots__ = (
+        "_machine", "_on_done", "_engine", "_config", "_mesh", "_amap",
+        "_stats", "_ideal", "_invalidate", "_num_banks", "_epoch",
+        "_bank_outstanding", "_bank_state", "_bank_sched", "_bank_pos",
+        "_bank_cbs", "_acks_received", "_line_shift", "_n_mcs",
+    )
 
     def __init__(
         self,
         machine: "Multicore",
-        epoch: Epoch,
         on_done: Callable[[Epoch], None],
     ) -> None:
         self._machine = machine
-        self._epoch = epoch
         self._on_done = on_done
         self._engine = machine.engine
         self._config = machine.config
         self._mesh = machine.mesh
+        self._amap = machine.amap
         self._stats = machine.stats.domain("flush")
         self._ideal = self._config.ideal_flush_coordination
-        self._fast = machine.engine.fast
-        # Per-bank accounting for BankAcks.
-        self._bank_outstanding: Dict[int, int] = {}
-        self._bank_issue_done: Dict[int, bool] = {}
-        self._bank_acked: Dict[int, bool] = {}
+        self._invalidate = self._config.flush_mode is FlushMode.CLFLUSH
+        n = self._config.llc_banks
+        self._num_banks = n
+        # Inlined address-map arithmetic for the begin() hot loop.
+        self._line_shift = self._config.offset_bits
+        self._n_mcs = self._config.num_memory_controllers
+        self._epoch: Optional[Epoch] = None
+        # Array-indexed per-bank accounting, reset per flush in begin().
+        self._bank_outstanding = [0] * n
+        self._bank_state = bytearray(n)
+        # Per-bank issue schedule: [t_issue, line, write_run, run_pos,
+        # in_l1] entries sorted by issue time, walked by _issue_bank.
+        self._bank_sched: List[Optional[List[list]]] = [None] * n
+        self._bank_pos = [0] * n
+        # One PersistAck receiver per bank, built once for the pool's
+        # lifetime (no per-line callback allocation).
+        self._bank_cbs = [partial(self._line_persisted, b) for b in range(n)]
         self._acks_received = 0
-        self._num_banks = self._config.llc_banks
+
+    @property
+    def epoch(self) -> Optional[Epoch]:
+        return self._epoch
 
     # ------------------------------------------------------------------
-    def start(self) -> None:
-        epoch = self._epoch
+    def begin(self, epoch: Epoch) -> None:
+        if self._epoch is not None:
+            raise RuntimeError(
+                f"flush of {self._epoch} still in flight; cannot begin "
+                f"{epoch}"
+            )
+        self._epoch = epoch
         epoch.flush_active = True
-        self._machine._note_epoch_flush(len(epoch.lines))
+        machine = self._machine
+        machine._note_epoch_flush(len(epoch.lines))
 
         core = epoch.core_id
-        now = self._engine.now
+        engine = self._engine
+        now = engine.now
+        ideal = self._ideal
+        interval = FLUSH_PIPELINE_INTERVAL
+        llc_latency = self._config.llc_latency
+        self._acks_received = 0
 
-        # Partition the epoch's lines by owning bank and current level.
-        per_bank: Dict[int, List[Tuple[int, bool]]] = {
-            b: [] for b in range(self._num_banks)
-        }
+        # Partition the epoch's lines by owning bank.
+        num_banks = self._num_banks
+        shift = self._line_shift
+        per_bank: List[Optional[List[int]]] = [None] * num_banks
         for line in sorted(epoch.lines):
-            in_l1 = self._machine.line_in_l1(core, line, epoch)
-            per_bank[self._machine.amap.bank_of(line)].append((line, in_l1))
-
-        c2b_row = self._mesh.c2b[core] if self._fast else None
-        for bank, lines in per_bank.items():
-            self._bank_outstanding[bank] = 0
-            self._bank_acked[bank] = False
-            if self._ideal:
-                hop = 0
-            elif c2b_row is not None:
-                hop = c2b_row[bank]
+            bank = (line >> shift) % num_banks
+            bucket = per_bank[bank]
+            if bucket is None:
+                per_bank[bank] = [line]
             else:
-                hop = self._mesh.core_to_bank(core, bank)
+                bucket.append(line)
+
+        c2b_row = self._mesh.c2b[core]
+        b2mc = self._mesh.b2mc
+        mcs = machine.mcs
+        seq = epoch.seq
+        outstanding = self._bank_outstanding
+        state = self._bank_state
+        sched = self._bank_sched
+        pos = self._bank_pos
+        for bank in range(num_banks):
+            outstanding[bank] = 0
+            pos[bank] = 0
+            sched[bank] = None
+            hop = 0 if ideal else c2b_row[bank]
+            lines = per_bank[bank]
             if not lines:
                 # Step 3 degenerate case: nothing to flush in this bank;
                 # it acks as soon as FlushEpoch arrives.
-                self._bank_issue_done[bank] = True
-                self._engine.schedule_call(2 * hop, self._bank_ack, bank)
+                state[bank] = _ACK_SENT
+                engine.schedule_call(2 * hop, self._bank_ack, bank)
                 continue
-            self._bank_issue_done[bank] = False
-            flush_epoch_arrival = now + hop
-            for i, (line, in_l1) in enumerate(lines):
+            state[bank] = _ISSUING
+            base = now + hop
+            l1 = machine.l1s[core]
+            entries: List[list] = []
+            monotone = True
+            prev = -1
+            for i, line in enumerate(lines):
+                t = base + i * interval
+                l1_entry = l1.lookup(line)
+                in_l1 = (
+                    l1_entry is not None
+                    and l1_entry.dirty
+                    and l1_entry.epoch is epoch
+                )
                 if in_l1:
-                    # Step 1: FlushLines -- L1 writes the line back through
-                    # the mesh to the bank before the bank can persist it.
-                    t = (
-                        now
-                        + i * FLUSH_PIPELINE_INTERVAL
-                        + hop
-                        + self._config.llc_latency
+                    # Step 1: FlushLines -- L1 writes the line back
+                    # through the mesh to the bank before the bank can
+                    # persist it.
+                    t += llc_latency
+                if t < prev:
+                    monotone = False
+                prev = t
+                # The in_l1 bit lets the issue walker skip the L1 probe
+                # for LLC-resident lines: the epoch is complete when its
+                # flush begins, so a line can move L1 -> LLC mid-flush
+                # (eviction writeback) but can never become newly dirty
+                # in the L1 under this epoch.
+                entries.append([t, line, None, 0, in_l1])
+            # Stable sort by issue time: mixed L1/LLC residency can make
+            # the raw sequence non-monotone, and both the walker and the
+            # controller FIFO consume lines in issue order.  Uniform
+            # residency (the common case) is already sorted.
+            if not monotone:
+                entries.sort(key=_issue_time)
+            on_line = self._bank_cbs[bank]
+            if self._n_mcs == 1:
+                # Single controller: the whole bank schedule is one run.
+                leg = 0 if ideal else b2mc[bank][0]
+                arrivals = [entry[0] + leg for entry in entries]
+                run_lines = [entry[1] for entry in entries]
+                write_run = mcs[0].write_batch(
+                    arrivals, run_lines, core, seq, "data", on_line
+                )
+                for run_pos, entry in enumerate(entries):
+                    entry[2] = write_run
+                    entry[3] = run_pos
+            else:
+                # Reserve the controller FIFO per (bank -> MC) run; each
+                # line arrives at its issue time plus the bank->MC leg.
+                runs: Dict[int, Tuple[List[int], List[int], List[list]]] = {}
+                n_mcs = self._n_mcs
+                for entry in entries:
+                    mc_id = (entry[1] >> shift) % n_mcs
+                    run = runs.get(mc_id)
+                    if run is None:
+                        run = runs[mc_id] = ([], [], [])
+                    run[0].append(entry[0] if ideal else
+                                  entry[0] + b2mc[bank][mc_id])
+                    run[1].append(entry[1])
+                    run[2].append(entry)
+                for mc_id, (arrivals, run_lines, run_entries) in runs.items():
+                    write_run = mcs[mc_id].write_batch(
+                        arrivals, run_lines, core, seq, "data", on_line
                     )
-                else:
-                    t = flush_epoch_arrival + i * FLUSH_PIPELINE_INTERVAL
-                last = i == len(lines) - 1
-                self._engine.schedule_call(t - now, self._issue_line,
-                                           bank, line, last)
-
+                    for run_pos, entry in enumerate(run_entries):
+                        entry[2] = write_run
+                        entry[3] = run_pos
+            sched[bank] = entries
+            engine.schedule_call(entries[0][0] - now, self._issue_bank, bank)
 
     # ------------------------------------------------------------------
-    def _issue_line(self, bank: int, line: int, last_for_bank: bool) -> None:
-        epoch = self._epoch
-        if line in epoch.lines:
-            entry, level_core = self._machine.locate_epoch_line(epoch, line)
-            if entry is not None:
-                self._bank_outstanding[bank] += 1
-                if self._ideal:
-                    extra = 0
-                elif self._fast:
-                    extra = self._mesh.b2mc[bank][
-                        self._machine.amap.mc_of(line)]
-                else:
-                    extra = self._mesh.bank_to_mc(
-                        bank, self._machine.amap.mc_of(line)
-                    )
-                self._machine.persist_line(
-                    entry,
-                    epoch,
-                    kind="data",
-                    extra_delay=extra,
-                    on_ack=lambda t, b=bank: self._line_acked(b),
-                    invalidate=self._config.flush_mode is FlushMode.CLFLUSH,
-                    from_l1_core=level_core,
-                )
-            else:
-                # The line left the caches since the epoch recorded it --
-                # its NVRAM write is in flight via the eviction path.
-                epoch.lines.discard(line)
-                self._stats.bump("flush_lines_already_inflight")
-        if last_for_bank:
-            self._bank_issue_done[bank] = True
-            if self._bank_outstanding[bank] == 0:
-                self._schedule_bank_ack(bank)
+    def _issue_bank(self, bank: int) -> None:
+        """Walk the bank's issue schedule at the current cycle.
 
-    def _line_acked(self, bank: int) -> None:
-        self._bank_outstanding[bank] -= 1
-        if self._bank_outstanding[bank] == 0 and self._bank_issue_done[bank]:
+        Performs the cache-side flush transition for every line whose
+        issue time is now, then re-schedules itself for the next issue
+        time (one in-flight event per bank, total, instead of one per
+        line).
+        """
+        entries = self._bank_sched[bank]
+        pos = self._bank_pos[bank]
+        n = len(entries)
+        engine = self._engine
+        now = engine.now
+        epoch = self._epoch
+        machine = self._machine
+        lines = epoch.lines
+        stats = self._stats
+        invalidate = self._invalidate
+        # locate_epoch_line inlined: the walker runs once per flushed
+        # line, and the L1/LLC handles are loop-invariant.
+        core = epoch.core_id
+        l1 = machine.l1s[core]
+        bank_cache = machine.llc_banks[bank]
+        issued = 0
+        while pos < n:
+            entry = entries[pos]
+            if entry[0] != now:
+                break
+            pos += 1
+            line = entry[1]
+            if line not in lines:
+                continue
+            centry = l1.lookup(line) if entry[4] else None
+            if centry is not None and centry.dirty and centry.epoch is epoch:
+                level_core = core
+            else:
+                centry = bank_cache.lookup(line)
+                if (
+                    centry is not None
+                    and centry.dirty
+                    and centry.epoch is epoch
+                ):
+                    level_core = None
+                else:
+                    # The line left the caches since the epoch recorded
+                    # it -- its NVRAM write is in flight via the
+                    # eviction path.
+                    lines.discard(line)
+                    stats.bump("flush_lines_already_inflight")
+                    continue
+            lines.discard(line)
+            epoch.inflight_writes += 1
+            issued += 1
+            entry[2].mark_issued(
+                entry[3],
+                machine.flush_line_transition(
+                    centry, line, invalidate, level_core
+                ),
+            )
+        self._bank_pos[bank] = pos
+        if issued:
+            self._bank_outstanding[bank] += issued
+        if pos < n:
+            engine.schedule_call(entries[pos][0] - now,
+                                 self._issue_bank, bank)
+            return
+        self._bank_state[bank] = _ISSUE_DONE
+        if self._bank_outstanding[bank] == 0:
+            self._schedule_bank_ack(bank)
+
+    def _line_persisted(self, bank: int, _time: int) -> None:
+        """PersistAck: one of the bank's lines committed to NVRAM.
+
+        The flushing epoch's ``flush_active`` flag stays set until
+        PersistCMP, so ``maybe_persist`` would be a guaranteed no-op
+        here -- the persist check happens once, from the arbiter's
+        ``_flush_done``.
+        """
+        self._epoch.inflight_writes -= 1
+        remaining = self._bank_outstanding[bank] - 1
+        self._bank_outstanding[bank] = remaining
+        if remaining == 0 and self._bank_state[bank] == _ISSUE_DONE:
             self._schedule_bank_ack(bank)
 
     def _schedule_bank_ack(self, bank: int) -> None:
-        if self._bank_acked[bank]:
+        if self._bank_state[bank] >= _ACK_SENT:
             return
-        self._bank_acked[bank] = True
+        self._bank_state[bank] = _ACK_SENT
         if self._ideal:
             delay = 0
-        elif self._fast:
-            delay = self._mesh.c2b[self._epoch.core_id][bank]
         else:
-            delay = self._mesh.core_to_bank(self._epoch.core_id, bank)
+            delay = self._mesh.c2b[self._epoch.core_id][bank]
         self._engine.schedule_call(delay, self._bank_ack, bank)
 
     def _bank_ack(self, bank: int) -> None:
-        # Degenerate-bank path may arrive here directly; mark it acked.
-        self._bank_acked[bank] = True
+        if self._bank_state[bank] == _ACKED:
+            raise RuntimeError(
+                f"bank {bank} sent a second BankAck for {self._epoch}"
+            )
+        self._bank_state[bank] = _ACKED
         self._acks_received += 1
         if self._acks_received == self._num_banks:
             # Step 4: PersistCMP broadcast.
@@ -181,4 +351,14 @@ class FlushOperation:
         epoch.flush_active = False
         if epoch.lines:
             raise RuntimeError(f"{epoch} finished flush with lines remaining")
+        # Recycle before notifying: on_done re-pumps the arbiter, which
+        # may immediately begin() the next flush on this same object.
+        self._epoch = None
+        sched = self._bank_sched
+        for bank in range(self._num_banks):
+            sched[bank] = None
         self._on_done(epoch)
+
+
+def _issue_time(entry: list) -> int:
+    return entry[0]

@@ -101,6 +101,8 @@ class Core:
         self._n_barriers = 0
         self._n_wb_forwards = 0
         self._n_txns = 0
+        self._n_wb_full = 0
+        self._n_window_stalls = 0
         # line_of is a single mask op; cache the mask so the per-op path
         # skips the config attribute and method dispatch.  The issue
         # width and write-buffer capacity are read per op too.
@@ -113,6 +115,10 @@ class Core:
         self._wb_stores = 0
         self._wb_lines: Dict[int, int] = {}
         self._draining = False
+        # Epoch of the single store the drain loop has in flight at the
+        # L1 (the drain is strictly one-at-a-time), so the completion
+        # callback is a prebound method instead of a per-store lambda.
+        self._drain_epoch = None
         self._pending_push: Optional[Op] = None
         self._wt_outstanding = 0
         self.done = False
@@ -145,6 +151,12 @@ class Core:
         if self._n_txns:
             stats.bump("txns", self._n_txns)
             self._n_txns = 0
+        if self._n_wb_full:
+            stats.bump("wb_full_stalls", self._n_wb_full)
+            self._n_wb_full = 0
+        if self._n_window_stalls:
+            stats.bump("epoch_window_stalls", self._n_window_stalls)
+            self._n_window_stalls = 0
 
     def _next(self, _time: Optional[int] = None) -> None:
         try:
@@ -154,7 +166,13 @@ class Core:
             self._check_done()
             return
         kind = op.kind
-        if kind is OpKind.COMPUTE:
+        # Dispatch order follows op-stream frequency: dense workloads are
+        # nearly all loads and stores, with compute/marker ops between.
+        if kind is OpKind.LOAD:
+            self._issue_load(op)
+        elif kind is OpKind.STORE:
+            self._issue_store(op)
+        elif kind is OpKind.COMPUTE:
             eng = self._engine
             if self._fast:
                 # Same clock-claim check as the machine's fused request
@@ -186,10 +204,6 @@ class Core:
             else:
                 self.stats.bump("txns")
             self._engine.call_soon(self._next)
-        elif kind is OpKind.LOAD:
-            self._issue_load(op)
-        elif kind is OpKind.STORE:
-            self._issue_store(op)
         elif kind is OpKind.BARRIER:
             self._issue_barrier()
         elif kind is OpKind.STRAND:
@@ -221,7 +235,12 @@ class Core:
     # ------------------------------------------------------------------
     def _issue_store(self, op: Op) -> None:
         if self._wb_stores + self._wt_outstanding >= self._wb_capacity:
-            self.stats.bump("wb_full_stalls")
+            # A store stalls here nearly every cycle of a streaming burst
+            # (drain is slower than issue), so the stall counter is hot.
+            if self._fast:
+                self._n_wb_full += 1
+            else:
+                self.stats.bump("wb_full_stalls")
             self._pending_push = op
             return
         line = op.addr & self._line_mask
@@ -235,6 +254,11 @@ class Core:
             self._n_stores += 1
         else:
             self.stats.bump("stores")
+        # NOTE: the issue-width advance must stay a scheduled event.  An
+        # inline try_advance here is unsound: _issue_store can run mid-
+        # chain (resumed from _pop_store), and the enclosing caller may
+        # still schedule same-cycle work after it returns, which the
+        # clock claim would reorder.
         self._engine.schedule_call(self._issue_cycles, self._next)
 
     def _issue_barrier(self) -> None:
@@ -318,7 +342,10 @@ class Core:
         if current is None and not self._mgr.can_open_epoch():
             # All 2^3 epoch IDs are in flight (section 4.3): no store may
             # begin a new epoch until the oldest persists.
-            self.stats.bump("epoch_window_stalls")
+            if self._fast:
+                self._n_window_stalls += 1
+            else:
+                self.stats.bump("epoch_window_stalls")
             oldest = self._mgr.oldest_unpersisted()
             oldest.on_persist(self._drain)
             self._machine.arbiters[self.core_id].request_flush_upto(
@@ -326,9 +353,10 @@ class Core:
             )
             return
         epoch = self._mgr.tag_store()
+        self._drain_epoch = epoch
         self._machine.store(
             self.core_id, entry.line, entry.values, epoch,
-            on_done=lambda t, e=epoch: self._drained_epoch(e),
+            on_done=self._drained_epoch,
         )
 
     def _drain_barrier(self, entry: WriteBufferEntry) -> None:
@@ -353,7 +381,8 @@ class Core:
             self._ckpt.capture(closed)
 
     # -- drain completions ------------------------------------------------
-    def _drained_epoch(self, epoch) -> None:
+    def _drained_epoch(self, _time: int) -> None:
+        epoch, self._drain_epoch = self._drain_epoch, None
         self._mgr.store_drained(epoch)
         self._pop_store()
 
@@ -368,7 +397,8 @@ class Core:
             self._wb_lines[entry.line] = count
         else:
             del self._wb_lines[entry.line]
-        self._resume_pending_push()
+        if self._pending_push is not None:
+            self._resume_pending_push()
         self._drain()
 
     def _wt_acked(self, _time: int) -> None:

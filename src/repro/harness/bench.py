@@ -7,11 +7,20 @@ performance trajectory is tracked across PRs:
   with the engine fast paths on and again under ``REPRO_SLOW_ENGINE=1``
   (the pure-heap reference mode).  The two runs must produce the same
   determinism digest (:func:`repro.sim.digest.state_digest`); the digest
-  comparison is repeated across all six persistency models.  This is
-  the per-run simulation loop the sweeps are made of.
+  comparison is repeated across all six persistency models, and crash-
+  recovery verdicts (epoch-order / undo-log checkers on a crashed run)
+  are compared fast-vs-reference too.  This is the per-run simulation
+  loop the sweeps are made of.  Two headline workloads bracket the
+  engine: ``hotset`` (cache-resident, measures the hit fast path) and
+  ``flushbound`` (miss-heavy small epochs, measures the pooled flush
+  handshake, the batch MC write path, and the fused miss path).
 * **sweep** -- the PR-1 executor benchmark: a fixed tiny-scale
   multi-figure sweep timed serial, parallel, and against a warm result
   cache.
+
+Each regeneration carries the previous file's headline numbers forward
+in a ``trajectory`` list, so ``BENCH_sweep.json`` records the
+before/after performance history across PRs.
 
 ``--profile`` wraps one fast single run in :mod:`cProfile` and writes
 the top functions by cumulative time to ``BENCH_profile.txt`` next to
@@ -23,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import hashlib
 import io
 import json
 import os
@@ -73,6 +83,26 @@ _SINGLE_RUN_BENCHMARK = "hotset"
 _SINGLE_RUN_CORES = 1
 _SINGLE_RUN_REPEATS = 3
 
+# Flush-bound headline run: the complement of ``hotset``.  ``flushbound``
+# streams a footprint 4x the L1 with a persist barrier every 8 lines
+# under BEP + LB++ proactive flushing, so in steady state nearly every
+# access is an L1 miss/LLC hit (the fused miss path) and every epoch
+# walks the pooled flush handshake and the batch MC write path.  600
+# transactions amortise the cold first lap, which fills from memory in
+# both modes alike.
+_FLUSH_RUN_TRANSACTIONS = 600
+_FLUSH_RUN_BENCHMARK = "flushbound"
+_FLUSH_RUN_PAIRS = 7
+
+# Crash-recovery verdicts: run a queue workload to a fixed crash cycle
+# in both engine modes and compare what the consistency checkers see.
+# BEP exercises the epoch-order checker; BSP additionally exercises the
+# undo-log coverage checker.
+_CRASH_MODELS = (PersistencyModel.BEP, PersistencyModel.BSP)
+_CRASH_BENCHMARK = "queue"
+_CRASH_TRANSACTIONS = 40
+_CRASH_CYCLE = 20_000
+
 # Digest matrix: every persistency model the simulator implements, each
 # checked fast-vs-reference on a short run.  Uses the richer ``queue``
 # structure on the stock multicore tiny config so the comparison
@@ -118,6 +148,7 @@ def _single_run_setup(
     model: PersistencyModel = PersistencyModel.BEP,
     benchmark: str = _SINGLE_RUN_BENCHMARK,
     num_cores: Optional[int] = _SINGLE_RUN_CORES,
+    barrier_design: BarrierDesign = BarrierDesign.LB_IDT,
 ) -> Tuple[MachineConfig, List[list]]:
     overrides = {}
     if model is PersistencyModel.BSP:
@@ -126,7 +157,7 @@ def _single_run_setup(
     if num_cores is not None:
         overrides["num_cores"] = num_cores
     config = MachineConfig.tiny(
-        persistency=model, barrier_design=BarrierDesign.LB_IDT, **overrides
+        persistency=model, barrier_design=barrier_design, **overrides
     )
     programs = [
         list(
@@ -195,6 +226,96 @@ def run_single_bench(seed: int = 1,
     }
 
 
+def _measure_interleaved(
+    config: MachineConfig, programs: List[list], pairs: int,
+) -> Tuple[float, float, str, str]:
+    """Time fast and reference modes in alternating pairs; return the
+    median pair's times.
+
+    Container schedulers drift on the tens-of-milliseconds scale, so
+    timing all fast repeats and then all reference repeats lets a slow
+    window bias the ratio one way -- and taking independent per-mode
+    minima is worse still (each min picks its own lucky window, so the
+    ratio inherits the tails of both).  Back-to-back fast/reference
+    pairs share whatever window they land in, their per-pair ratio
+    cancels the common-mode drift, and the median pair is robust to a
+    stray descheduling in either mode.
+    """
+
+    def one(slow: bool) -> Tuple[float, str]:
+        with reference_mode(slow):
+            machine = Multicore(config)
+            start = time.perf_counter()
+            result = machine.run(programs)
+            elapsed = time.perf_counter() - start
+        return elapsed, state_digest(machine, result)
+
+    one(False)  # warm-up: import, allocator, and branch-predictor noise
+    samples: List[Tuple[float, float]] = []
+    fast_digest = slow_digest = ""
+    for _ in range(pairs):
+        fast_s, fast_digest = one(False)
+        slow_s, slow_digest = one(True)
+        samples.append((fast_s, slow_s))
+    samples.sort(key=lambda p: p[1] / p[0])
+    fast_s, slow_s = samples[len(samples) // 2]
+    return fast_s, slow_s, fast_digest, slow_digest
+
+
+def run_flush_bench(seed: int = 1,
+                    transactions: int = _FLUSH_RUN_TRANSACTIONS,
+                    pairs: int = _FLUSH_RUN_PAIRS,
+                    benchmark: str = _FLUSH_RUN_BENCHMARK) -> dict:
+    """Time the flush-bound headline run fast vs reference.
+
+    Unlike :func:`run_single_bench` (cache-resident ``hotset``: the hit
+    fast path), this run is miss- and flush-dominated, so the ratio
+    measures the pooled flush handshake, the batch MC write path, and
+    the fused L1-miss/LLC-hit path.
+    """
+    config, programs = _single_run_setup(
+        seed, transactions, model=PersistencyModel.BEP,
+        benchmark=benchmark, num_cores=1,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    n_ops = sum(len(p) for p in programs)
+
+    fast_s, slow_s, fast_digest, slow_digest = _measure_interleaved(
+        config, programs, pairs
+    )
+
+    fast_ops = n_ops / fast_s if fast_s else 0.0
+    slow_ops = n_ops / slow_s if slow_s else 0.0
+    print(f"[bench] flush-bound run ({benchmark}, BEP/LB++, "
+          f"{config.num_cores} core(s), {transactions} txns, {n_ops} ops):")
+    print(f"[bench]   fast paths:    {fast_ops:10.0f} ops/s "
+          f"({fast_s * 1e3:.1f} ms)")
+    print(f"[bench]   reference:     {slow_ops:10.0f} ops/s "
+          f"({slow_s * 1e3:.1f} ms)")
+    print(f"[bench]   speedup:       {fast_ops / slow_ops:10.2f}x, digest "
+          f"{'MATCH' if fast_digest == slow_digest else 'MISMATCH'}")
+
+    return {
+        "benchmark": benchmark,
+        "persistency": "bep",
+        "barrier_design": "lb_pp",
+        "num_cores": config.num_cores,
+        "transactions": transactions,
+        "ops": n_ops,
+        "pairs": pairs,
+        "ops_per_sec": {
+            "fast": round(fast_ops, 1),
+            "reference": round(slow_ops, 1),
+        },
+        "wall_seconds": {
+            "fast": round(fast_s, 4),
+            "reference": round(slow_s, 4),
+        },
+        "speedup": round(fast_ops / slow_ops, 3) if slow_ops else None,
+        "digest_match": fast_digest == slow_digest,
+    }
+
+
 def digest_matrix(seed: int = 1,
                   transactions: int = _DIGEST_TRANSACTIONS) -> Dict[str, dict]:
     """Fast-vs-reference digest comparison per persistency model."""
@@ -225,11 +346,95 @@ def digest_matrix(seed: int = 1,
     return rows
 
 
+def _crash_verdict(seed: int, model: PersistencyModel) -> dict:
+    """Crash one run and summarise what the recovery checkers see."""
+    from repro.recovery import (
+        check_bsp_recoverable,
+        check_epoch_order,
+        run_with_crash,
+    )
+
+    overrides = {}
+    if model is PersistencyModel.BSP:
+        overrides["bsp_epoch_stores"] = 30
+    config = MachineConfig.tiny(
+        persistency=model, barrier_design=BarrierDesign.LB_PP, **overrides
+    )
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True)
+    programs = [
+        list(
+            make_benchmark(
+                _CRASH_BENCHMARK, thread_id=tid, seed=seed,
+                line_size=config.line_size,
+            ).ops(_CRASH_TRANSACTIONS)
+        )
+        for tid in range(config.num_cores)
+    ]
+    outcome = run_with_crash(machine, programs, crash_cycle=_CRASH_CYCLE)
+
+    verdict = {
+        "crash_cycle": outcome.crash_cycle,
+        "persists_checked": check_epoch_order(outcome),
+        "durable_epochs": sum(
+            1 for r in outcome.epochs.values() if r.persisted
+        ),
+    }
+    if model is PersistencyModel.BSP:
+        verdict["log_covered"] = check_bsp_recoverable(outcome)
+    digest = hashlib.sha256()
+    for line, value in sorted(outcome.image.values.items()):
+        digest.update(f"{line:x}={value!r};".encode())
+    verdict["image"] = digest.hexdigest()[:16]
+    return verdict
+
+
+def crash_recovery_matrix(seed: int = 1) -> Dict[str, dict]:
+    """Fast-vs-reference comparison of crash-recovery verdicts.
+
+    A crashed run never reaches the end-of-run drain, so the digest
+    matrix alone would not catch a fast path that reorders persists
+    within the window the crash truncates.  This compares the durable
+    image and the consistency-checker verdicts at the crash point.
+    """
+    rows: Dict[str, dict] = {}
+    for model in _CRASH_MODELS:
+        fast = _crash_verdict(seed, model)
+        with reference_mode():
+            ref = _crash_verdict(seed, model)
+        rows[model.value] = {
+            "fast": fast,
+            "reference": ref,
+            "match": fast == ref,
+        }
+    matched = sum(r["match"] for r in rows.values())
+    print(f"[bench] crash-recovery verdicts: {matched}/{len(rows)} models "
+          "match fast vs reference")
+    return rows
+
+
 def run_profile(seed: int = 1,
                 transactions: int = _SINGLE_RUN_TRANSACTIONS,
-                output: str = DEFAULT_OUTPUT, top: int = 30) -> Path:
-    """Profile one fast single run; write top-N cumulative to a file."""
-    config, programs = _single_run_setup(seed, transactions)
+                output: str = DEFAULT_OUTPUT, top: int = 30,
+                benchmark: str = _FLUSH_RUN_BENCHMARK) -> Path:
+    """Profile one fast single run; write top-N cumulative to a file.
+
+    Defaults to the flush-bound micro (that is where the remaining
+    simulator time goes); ``--workload hotset`` profiles the
+    cache-resident hit path instead.
+    """
+    # Flush-bound profiling wants the flush bench's exact configuration
+    # (BEP + LB++ proactive flushing); everything else profiles under
+    # the plain single-run config.
+    if benchmark == _FLUSH_RUN_BENCHMARK:
+        config, programs = _single_run_setup(
+            seed, transactions, benchmark=benchmark, num_cores=1,
+            barrier_design=BarrierDesign.LB_PP,
+        )
+    else:
+        config, programs = _single_run_setup(
+            seed, transactions, benchmark=benchmark
+        )
     machine = Multicore(config)
     profiler = cProfile.Profile()
     profiler.enable()
@@ -243,9 +448,10 @@ def run_profile(seed: int = 1,
     path = Path(output).resolve().parent / PROFILE_OUTPUT
     path.write_text(
         f"# cProfile of one tiny-scale single run "
-        f"({_SINGLE_RUN_BENCHMARK}, {transactions} txns, {n_ops} ops), "
+        f"({benchmark}, {transactions} txns, {n_ops} ops), "
         f"sorted by cumulative time, top {top}.\n"
-        f"# Generated by `python -m repro bench --profile`.\n"
+        f"# Generated by `python -m repro bench --profile "
+        f"--workload {benchmark}`.\n"
         + buf.getvalue(),
         encoding="utf-8",
     )
@@ -327,11 +533,67 @@ def run_sweep_bench(jobs: int, seed: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+def _headline(record: dict) -> dict:
+    """The numbers worth carrying forward in the trajectory."""
+    entry: dict = {}
+    for key in ("single_run", "single_run_flush"):
+        row = record.get(key)
+        if row:
+            entry[key] = {
+                "benchmark": row.get("benchmark"),
+                "transactions": row.get("transactions"),
+                "ops_per_sec_fast": (row.get("ops_per_sec") or {}).get(
+                    "fast"),
+                "speedup": row.get("speedup"),
+            }
+    sweep = record.get("sweep")
+    if sweep:
+        entry["sweep_parallel_vs_serial"] = (sweep.get("speedup") or {}).get(
+            "parallel_vs_serial")
+    return entry
+
+
+def _trajectory(path: Path) -> List[dict]:
+    """Prior headline numbers: the old file's trajectory plus the old
+    file's own headline.  Regenerating the benchmark therefore records
+    the before/after history in place."""
+    if not path.exists():
+        return []
+    try:
+        old = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, OSError):
+        return []
+    trajectory = [e for e in old.get("trajectory", ())
+                  if isinstance(e, dict)]
+    head = _headline(old)
+    if head:
+        trajectory.append(head)
+    return trajectory[-20:]
+
+
+def digests_ok(record: dict) -> bool:
+    """True when every fast-vs-reference comparison in ``record``
+    matched: both headline runs, the model matrix, and the
+    crash-recovery verdicts."""
+    for key in ("single_run", "single_run_flush"):
+        row = record.get(key)
+        if row and not row.get("digest_match"):
+            return False
+    for matrix in ("digests", "crash_recovery"):
+        for row in (record.get(matrix) or {}).values():
+            if not row.get("match"):
+                return False
+    return True
+
+
 def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
               transactions: Optional[int] = None, profile: bool = False,
-              sweep: bool = True) -> dict:
+              sweep: bool = True, workload: Optional[str] = None) -> dict:
     single_txns = (transactions if transactions is not None
                    else _SINGLE_RUN_TRANSACTIONS)
+    flush_txns = (transactions if transactions is not None
+                  else _FLUSH_RUN_TRANSACTIONS)
+    path = Path(output)
     record = {
         "machine": {
             "cpu_count": os.cpu_count() or 1,
@@ -339,14 +601,20 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
             "python": platform.python_version(),
         },
         "single_run": run_single_bench(seed=seed, transactions=single_txns),
+        "single_run_flush": run_flush_bench(
+            seed=seed, transactions=flush_txns,
+            benchmark=workload or _FLUSH_RUN_BENCHMARK,
+        ),
         "digests": digest_matrix(seed=seed),
+        "crash_recovery": crash_recovery_matrix(seed=seed),
+        "trajectory": _trajectory(path),
     }
     if sweep:
         record["sweep"] = run_sweep_bench(jobs=jobs, seed=seed)
     if profile:
-        run_profile(seed=seed, transactions=single_txns, output=output)
+        run_profile(seed=seed, transactions=flush_txns, output=output,
+                    benchmark=workload or _FLUSH_RUN_BENCHMARK)
 
-    path = Path(output)
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"[bench] wrote {path}")
     return record
@@ -367,12 +635,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=f"cProfile one single run into {PROFILE_OUTPUT}")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the sweep-executor timing (smoke mode)")
+    parser.add_argument("--workload", default=None,
+                        help="micro for the flush-bound run and --profile "
+                             f"(default {_FLUSH_RUN_BENCHMARK})")
+    parser.add_argument("--check-digests", action="store_true",
+                        help="exit nonzero unless every fast-vs-reference "
+                             "digest and crash-recovery verdict matches")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help=f"result file (default {DEFAULT_OUTPUT})")
     args = parser.parse_args(argv)
-    run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
-              transactions=args.transactions, profile=args.profile,
-              sweep=not args.no_sweep)
+    record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
+                       transactions=args.transactions, profile=args.profile,
+                       sweep=not args.no_sweep, workload=args.workload)
+    if args.check_digests and not digests_ok(record):
+        print("[bench] ERROR: fast/reference digest mismatch")
+        return 1
     return 0
 
 

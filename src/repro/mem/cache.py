@@ -185,6 +185,85 @@ class SetAssociativeCache:
         self.touch(entry)
         return entry
 
+    def swap_in(self, line: int,
+                victim: Optional[CacheEntry] = None) -> CacheEntry:
+        """Replace ``victim`` (clean, same set, from ``victim_for``) with
+        a fresh entry for ``line`` -- remove + insert with a single set
+        resolution.  ``victim=None`` degenerates to a plain insert."""
+        mask = self._set_mask
+        if mask is not None:
+            cache_set = self._sets[(line >> self._offset_bits) & mask]
+        else:
+            cache_set = self._set_of(line)
+        if victim is not None:
+            victim_line = victim.line
+            if victim_line == self._last_line:
+                self._last_line = -1
+                self._last_entry = None
+            cache_set.pop(victim_line, None)
+        entry = cache_set.get(line)
+        if entry is None:
+            if len(cache_set) >= self.assoc:
+                raise RuntimeError(
+                    f"{self.name}: inserting 0x{line:x} into a full set; "
+                    "evict the victim first"
+                )
+            entry = CacheEntry(line)
+            cache_set[line] = entry
+            if self._fast:
+                self._n_fills += 1
+            else:
+                self._stats.bump("fills")
+        if self._fast:
+            self._last_line = line
+            self._last_entry = entry
+        self._tick = tick = self._tick + 1
+        entry._lru = tick
+        return entry
+
+    def clean_fill(self, line: int):
+        """Single-pass fill for the fused request paths: pick the victim
+        and insert ``line`` with one set resolution.
+
+        Returns ``(entry, victim_line)`` -- ``victim_line`` is -1 when a
+        free way absorbed the fill -- or None, without mutating anything,
+        when the only viable victim is dirty (the caller falls back to
+        the general path, whose ``victim_for`` picks that same victim).
+        The clean-victim choice matches ``victim_for``: least-recently-
+        used clean entry.  The caller guarantees ``line`` misses.
+        """
+        mask = self._set_mask
+        if mask is not None:
+            cache_set = self._sets[(line >> self._offset_bits) & mask]
+        else:
+            cache_set = self._set_of(line)
+        victim_line = -1
+        if len(cache_set) >= self.assoc:
+            best: Optional[CacheEntry] = None
+            for entry in cache_set.values():
+                if not entry.dirty and (
+                    best is None or entry._lru < best._lru
+                ):
+                    best = entry
+            if best is None:
+                return None
+            victim_line = best.line
+            if victim_line == self._last_line:
+                self._last_line = -1
+                self._last_entry = None
+            del cache_set[victim_line]
+        entry = CacheEntry(line)
+        cache_set[line] = entry
+        if self._fast:
+            self._n_fills += 1
+            self._last_line = line
+            self._last_entry = entry
+        else:
+            self._stats.bump("fills")
+        self._tick = tick = self._tick + 1
+        entry._lru = tick
+        return entry, victim_line
+
     def remove(self, line: int) -> Optional[CacheEntry]:
         """Remove and return the entry for ``line`` if present."""
         if line == self._last_line:

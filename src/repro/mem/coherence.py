@@ -86,6 +86,67 @@ class Directory:
             ent.sharers.add(ent.owner)
             ent.owner = None
 
+    def exclusive_ok(self, line: int, core_id: int) -> bool:
+        """True when ``core_id`` could take M on ``line`` without any
+        invalidation or forwarding: no directory entry, or no *foreign*
+        owner and no foreign sharers.  One lookup, no allocation -- the
+        guard the fused store paths use to stay conflict-free."""
+        ent = self._entries.get(line)
+        if ent is None:
+            return True
+        if ent.owner is not None and ent.owner != core_id:
+            return False
+        for sharer in ent.sharers:
+            if sharer != core_id:
+                return False
+        return True
+
+    def refill_sharer(self, line: int, victim_line: int,
+                      core_id: int) -> None:
+        """``drop_core(victim_line)`` + ``add_sharer(line)`` in one call
+        -- the fused load-fill path's directory update (``victim_line``
+        is -1 when a free way absorbed the fill)."""
+        entries = self._entries
+        if victim_line >= 0:
+            ent = entries.get(victim_line)
+            if ent is not None:
+                if ent.owner == core_id:
+                    ent.owner = None
+                ent.sharers.discard(core_id)
+                if ent.owner is None and not ent.sharers:
+                    del entries[victim_line]
+        ent = entries.get(line)
+        if ent is None:
+            ent = DirectoryEntry()
+            entries[line] = ent
+        ent.sharers.add(core_id)
+        if ent.owner is not None and ent.owner != core_id:
+            ent.sharers.add(ent.owner)
+            ent.owner = None
+
+    def refill_owner(self, line: int, victim_line: int,
+                     core_id: int) -> None:
+        """``drop_core(victim_line)`` + ``set_owner(line)`` in one call
+        -- the fused store-fill path's directory update."""
+        entries = self._entries
+        if victim_line >= 0:
+            ent = entries.get(victim_line)
+            if ent is not None:
+                if ent.owner == core_id:
+                    ent.owner = None
+                ent.sharers.discard(core_id)
+                if ent.owner is None and not ent.sharers:
+                    del entries[victim_line]
+        ent = entries.get(line)
+        if ent is None:
+            ent = DirectoryEntry()
+            entries[line] = ent
+            ent.owner = core_id
+            ent.sharers = {core_id}
+        elif ent.owner != core_id:
+            ent.owner = core_id
+            ent.sharers = {core_id}
+
     def drop_line(self, line: int) -> None:
         """Forget the line entirely (all copies invalidated)."""
         self._entries.pop(line, None)

@@ -12,21 +12,30 @@ controller acknowledges is recorded with a global persist sequence number
 and the epoch that produced the value.  The recovery checker replays this
 record to verify that the persisted state at any crash point respects the
 epoch happens-before order (and, for BSP, that undo logging restores
-epoch atomicity).
+epoch atomicity).  Per-line :class:`PersistRecord` bookkeeping
+(``last_persist``, ``history``) is only maintained when ``track_order``
+is on -- it exists for the recovery checker, and skipping it keeps the
+common untracked run allocation-free per persist.
+
+Epoch flushes reserve a whole run of line writes at once through
+:meth:`MemoryController.write_batch`: the FIFO service starts for all k
+lines are computed in one arithmetic pass (no per-line arrival events),
+and a single self-rescheduling :class:`_WriteRun` event commits each line
+at its exact completion time.  Committing per line -- rather than once at
+the end of the run -- is what keeps crash truncation exact: a crash at
+cycle C observes precisely the commits with time <= C.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.sim.config import MachineConfig
 from repro.sim.engine import Engine
 from repro.sim.stats import StatDomain
 
 
-@dataclass(frozen=True)
-class PersistRecord:
+class PersistRecord(NamedTuple):
     """One acknowledged NVRAM line write."""
 
     index: int          # global persist sequence number
@@ -41,8 +50,8 @@ class NVRAMImage:
     """Durable state: what survives a crash.
 
     Tracks the last persisted value tokens per line and, when
-    ``track_order`` is on, the full ordered history of persists for the
-    recovery checker.
+    ``track_order`` is on, the per-line record of the last persist and
+    the full ordered history for the recovery checker.
     """
 
     def __init__(self, track_order: bool = False) -> None:
@@ -50,7 +59,7 @@ class NVRAMImage:
         self._next_index = 0
         # line -> (offset -> token) of the last persisted version.
         self.values: Dict[int, Dict[int, object]] = {}
-        # line -> PersistRecord of the last persist.
+        # line -> PersistRecord of the last persist (track_order only).
         self.last_persist: Dict[int, PersistRecord] = {}
         self.history: List[PersistRecord] = []
         # Undo-log region contents: log_line -> (data_line, old values).
@@ -64,16 +73,22 @@ class NVRAMImage:
         epoch_seq: int,
         kind: str,
         values: Optional[Dict[int, object]] = None,
-    ) -> PersistRecord:
-        record = PersistRecord(
-            self._next_index, time, line, core_id, epoch_seq, kind
-        )
+    ) -> Optional[PersistRecord]:
+        """Record ``line`` becoming durable.
+
+        ``values`` ownership transfers to the image: callers pass a
+        private snapshot and must not mutate it afterwards (this is what
+        lets the common path avoid a second ``dict(values)`` copy).
+        """
+        index = self._next_index
         self._next_index += 1
-        self.last_persist[line] = record
         if values is not None:
-            self.values[line] = dict(values)
-        if self.track_order:
-            self.history.append(record)
+            self.values[line] = values
+        if not self.track_order:
+            return None
+        record = PersistRecord(index, time, line, core_id, epoch_seq, kind)
+        self.last_persist[line] = record
+        self.history.append(record)
         return record
 
     def commit_log(
@@ -84,14 +99,80 @@ class NVRAMImage:
         core_id: int,
         epoch_seq: int,
         old_values: Optional[Dict[int, object]],
-    ) -> PersistRecord:
-        """Record an undo-log entry becoming durable."""
-        self.log_entries[log_line] = (data_line, dict(old_values or {}))
+    ) -> Optional[PersistRecord]:
+        """Record an undo-log entry becoming durable.
+
+        Like :meth:`commit`, takes ownership of ``old_values``.
+        """
+        self.log_entries[log_line] = (
+            data_line, old_values if old_values is not None else {}
+        )
         return self.commit(time, log_line, core_id, epoch_seq, "log")
 
     @property
     def persist_count(self) -> int:
         return self._next_index
+
+
+class _WriteRun:
+    """A reserved FIFO run of flush writes walking to completion.
+
+    The controller computed every completion time when the run was
+    reserved; one event per line then commits it at exactly that time.
+    Lines whose cache copy vanished before issue (``issued`` stays 0 --
+    the eviction path persisted them meanwhile) keep their reserved slot
+    but commit nothing.
+    """
+
+    __slots__ = (
+        "_mc", "_lines", "_dones", "_values", "_issued",
+        "_core_id", "_epoch_seq", "_kind", "_on_line", "_pos",
+    )
+
+    def __init__(
+        self,
+        mc: "MemoryController",
+        lines: List[int],
+        dones: List[int],
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        on_line: Callable[[int], None],
+    ) -> None:
+        self._mc = mc
+        self._lines = lines
+        self._dones = dones
+        self._values: List[Optional[Dict[int, object]]] = [None] * len(lines)
+        self._issued = bytearray(len(lines))
+        self._core_id = core_id
+        self._epoch_seq = epoch_seq
+        self._kind = kind
+        self._on_line = on_line
+        self._pos = 0
+
+    def mark_issued(self, pos: int,
+                    values: Optional[Dict[int, object]]) -> None:
+        """The flush engine issued slot ``pos``; ``values`` is a private
+        snapshot taken at issue time (ownership passes to the image)."""
+        self._issued[pos] = 1
+        self._values[pos] = values
+
+    def step(self) -> None:
+        pos = self._pos
+        mc = self._mc
+        time = self._dones[pos]
+        if self._issued[pos]:
+            mc._account_write(self._kind)
+            mc._image.commit(
+                time, self._lines[pos], self._core_id, self._epoch_seq,
+                self._kind, self._values[pos],
+            )
+            self._values[pos] = None
+            self._on_line(time)
+        pos += 1
+        self._pos = pos
+        if pos < len(self._dones):
+            mc._engine.schedule_call(self._dones[pos] - time, self.step)
 
 
 class MemoryController:
@@ -138,6 +219,15 @@ class MemoryController:
             self._stats.record("queue_wait", queue_wait)
         return start
 
+    def _account_write(self, kind: str) -> None:
+        if self._fast:
+            self._n_writes += 1
+            by_kind = self._writes_by_kind
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        else:
+            self._stats.bump("writes")
+            self._stats.bump(f"writes_{kind}")
+
     def flush_hot_stats(self) -> None:
         """Merge the attribute-held counters into the stat domain.
 
@@ -164,16 +254,19 @@ class MemoryController:
             self._qw_max = 0
 
     # ------------------------------------------------------------------
-    def read(self, line: int, callback: Callable[[int], None]) -> None:
-        """Schedule a line read; ``callback(completion_time)`` fires when
-        the data is available at the controller."""
+    def read(self, line: int, callback: Callable[..., None],
+             *cb_args: object) -> None:
+        """Schedule a line read; ``callback(*cb_args, completion_time)``
+        fires when the data is available at the controller."""
         start = self._service_start(self._config.mc_read_occupancy)
         done = start + self._config.nvram_read_latency
         if self._fast:
             self._n_reads += 1
         else:
             self._stats.bump("reads")
-        self._engine.schedule_call(done - self._engine.now, callback, done)
+        self._engine.schedule_call(
+            done - self._engine.now, callback, *cb_args, done
+        )
 
     def write(
         self,
@@ -182,36 +275,97 @@ class MemoryController:
         epoch_seq: int,
         kind: str,
         values: Optional[Dict[int, object]] = None,
-        callback: Optional[Callable[[int], None]] = None,
+        callback: Optional[Callable[..., None]] = None,
+        cb_args: Tuple = (),
     ) -> None:
         """Schedule a durable line write (a persist).
 
-        The write is committed to the :class:`NVRAMImage` at its completion
-        time, then ``callback(completion_time)`` fires (the PersistAck).
+        The write is committed to the :class:`NVRAMImage` at its
+        completion time, then ``callback(*cb_args, completion_time)``
+        fires (the PersistAck).  ``values`` ownership transfers to the
+        image at commit.
         """
         start = self._service_start(self._config.mc_write_occupancy)
         done = start + self._config.nvram_write_latency
+        self._account_write(kind)
+        self._engine.schedule_call(
+            done - self._engine.now, self._commit_write,
+            done, line, core_id, epoch_seq, kind, values, callback, cb_args,
+        )
+
+    def _commit_write(
+        self,
+        time: int,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        values: Optional[Dict[int, object]],
+        callback: Optional[Callable[..., None]],
+        cb_args: Tuple,
+    ) -> None:
+        if kind == "log":
+            # ``line`` would be a log-region address; the data line and
+            # old values ride along separately, which write_log handles.
+            raise AssertionError("log writes must go through write_log()")
+        self._image.commit(time, line, core_id, epoch_seq, kind, values)
+        if callback is not None:
+            callback(*cb_args, time)
+
+    def write_batch(
+        self,
+        arrivals: List[int],
+        lines: List[int],
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        on_line: Callable[[int], None],
+    ) -> _WriteRun:
+        """Reserve a FIFO run of ``k`` line writes in one arithmetic pass.
+
+        ``arrivals`` are the (ascending-issue-order) cycles at which each
+        line reaches the controller; service starts follow the same
+        ``max(arrival, busy)`` FIFO rule as :meth:`write`, but the whole
+        run claims its slots now -- the flush engine reserves controller
+        bandwidth for its line run up front instead of contending per
+        line.  One :class:`_WriteRun` event then commits each line at its
+        exact completion time and calls ``on_line(time)`` for it.
+
+        Write counts are accounted per *committed* line (a reserved slot
+        whose line was persisted through the eviction path meanwhile
+        commits nothing); queue waits are recorded per reserved slot.
+        """
+        config = self._config
+        occupancy = config.mc_write_occupancy
+        latency = config.nvram_write_latency
+        busy = self._busy_until
+        dones: List[int] = []
         if self._fast:
-            self._n_writes += 1
-            by_kind = self._writes_by_kind
-            by_kind[kind] = by_kind.get(kind, 0) + 1
+            qw_sum = self._qw_sum
+            qw_max = self._qw_max
+            for arrival in arrivals:
+                start = arrival if arrival > busy else busy
+                busy = start + occupancy
+                wait = start - arrival
+                qw_sum += wait
+                if wait > qw_max:
+                    qw_max = wait
+                dones.append(start + latency)
+            self._qw_sum = qw_sum
+            self._qw_max = qw_max
+            self._qw_count += len(arrivals)
         else:
-            self._stats.bump("writes")
-            self._stats.bump(f"writes_{kind}")
-
-        def _complete(time: int = done) -> None:
-            if kind == "log":
-                # ``line`` here is the log-region address; the data line and
-                # old values ride in ``values`` via a convention handled by
-                # the undo-log module, which calls commit_log directly.
-                raise AssertionError(
-                    "log writes must go through write_log()"
-                )
-            self._image.commit(time, line, core_id, epoch_seq, kind, values)
-            if callback is not None:
-                callback(time)
-
-        self._engine.schedule_call(done - self._engine.now, _complete)
+            stats = self._stats
+            for arrival in arrivals:
+                start = arrival if arrival > busy else busy
+                busy = start + occupancy
+                stats.record("queue_wait", start - arrival)
+                dones.append(start + latency)
+        self._busy_until = busy
+        run = _WriteRun(self, lines, dones, core_id, epoch_seq, kind,
+                        on_line)
+        self._engine.schedule_call(dones[0] - self._engine.now, run.step)
+        return run
 
     def write_log(
         self,
@@ -220,24 +374,32 @@ class MemoryController:
         core_id: int,
         epoch_seq: int,
         old_values: Optional[Dict[int, object]],
-        callback: Optional[Callable[[int], None]] = None,
+        callback: Optional[Callable[..., None]] = None,
+        cb_args: Tuple = (),
     ) -> None:
         """Schedule an undo-log entry write (section 5.2.1)."""
         start = self._service_start(self._config.mc_write_occupancy)
         done = start + self._config.nvram_write_latency
-        if self._fast:
-            self._n_writes += 1
-            by_kind = self._writes_by_kind
-            by_kind["log"] = by_kind.get("log", 0) + 1
-        else:
-            self._stats.bump("writes")
-            self._stats.bump("writes_log")
+        self._account_write("log")
+        self._engine.schedule_call(
+            done - self._engine.now, self._commit_log,
+            done, log_line, data_line, core_id, epoch_seq, old_values,
+            callback, cb_args,
+        )
 
-        def _complete() -> None:
-            self._image.commit_log(
-                done, log_line, data_line, core_id, epoch_seq, old_values
-            )
-            if callback is not None:
-                callback(done)
-
-        self._engine.schedule_call(done - self._engine.now, _complete)
+    def _commit_log(
+        self,
+        time: int,
+        log_line: int,
+        data_line: int,
+        core_id: int,
+        epoch_seq: int,
+        old_values: Optional[Dict[int, object]],
+        callback: Optional[Callable[..., None]],
+        cb_args: Tuple,
+    ) -> None:
+        self._image.commit_log(
+            time, log_line, data_line, core_id, epoch_seq, old_values
+        )
+        if callback is not None:
+            callback(*cb_args, time)

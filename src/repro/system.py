@@ -247,6 +247,10 @@ class Multicore:
         # (_flush_hot_stats).
         self._fast = self.engine.fast
         self._l1_lat = config.l1_latency
+        # Bank resolution inlined in the fused paths: one shift and one
+        # modulo instead of an AddressMap method call per access.
+        self._bank_shift = config.offset_bits
+        self._n_banks = config.llc_banks
         n = config.num_cores
         self._l1_hit_counts = [0] * n
         self._lat_sums = [0] * n
@@ -313,6 +317,58 @@ class Multicore:
                     return
                 eng.schedule_call(lat, on_done, done)
                 return
+            # Fused L1-miss/LLC-hit path: a conflict-free fill from the
+            # LLC completes without a request object, mirroring the hit
+            # fast path above.  Conflict-free means: no foreign M owner,
+            # the LLC copy (if dirty) is not another core's unpersisted
+            # version, and the L1 victim (if any) is clean.  Anything
+            # else falls through to the general classifier.
+            bank = (line >> self._bank_shift) % self._n_banks
+            owner = self.directory.owner_of(line)
+            if owner is None or owner == core_id:
+                bank_cache = self.llc_banks[bank]
+                llc_entry = bank_cache.lookup(line)
+                if llc_entry is not None and not (
+                    llc_entry.dirty
+                    and llc_entry.epoch is not None
+                    and llc_entry.epoch.core_id != core_id
+                    and not llc_entry.epoch.persisted
+                ):
+                    filled = l1.clean_fill(line)
+                    if filled is not None:
+                        # Same end state as the general path: LLC
+                        # touched, victim out, fill in, sharer added.
+                        entry, victim_line = filled
+                        bank_cache._tick = btick = bank_cache._tick + 1
+                        llc_entry._lru = btick
+                        if self.track_values:
+                            if llc_entry.values is not None:
+                                entry.values = dict(llc_entry.values)
+                            else:
+                                stored = self.image.values.get(line)
+                                entry.values = dict(stored) if stored else {}
+                        self.directory.refill_sharer(line, victim_line,
+                                                     core_id)
+                        self._n_llc_hits += 1
+                        lat = self._base_lat[core_id][bank]
+                        self._lat_sums[core_id] += lat
+                        self._lat_counts[core_id] += 1
+                        if lat > self._lat_maxes[core_id]:
+                            self._lat_maxes[core_id] = lat
+                        eng = self.engine
+                        done = eng.now + lat
+                        if (
+                            self._inline_depth < _MAX_INLINE_DEPTH
+                            and eng.try_advance(done)
+                        ):
+                            self._inline_depth += 1
+                            try:
+                                on_done(done)
+                            finally:
+                                self._inline_depth -= 1
+                            return
+                        eng.schedule_call(lat, on_done, done)
+                        return
         req = _Request(core_id, line, False, None, None, on_done)
         req.issue_time = self.engine.now
         self._try_access(req)
@@ -379,6 +435,71 @@ class Multicore:
                     return
                 eng.schedule_call(lat, on_done, done)
                 return
+            # Fused store miss/upgrade path: a conflict-free store to a
+            # line this core does not hold in M completes without a
+            # request object.  Two shapes share the tail: an S-state L1
+            # hit upgraded in place, and an L1 miss filled from a
+            # conflict-free LLC copy.  Undo logging, any unpersisted LLC
+            # version, foreign owners/sharers, or a dirty L1 victim fall
+            # through to the general classifier.
+            if not self._logging_on and (entry is None or not entry.dirty):
+                bank = (line >> self._bank_shift) % self._n_banks
+                llc_entry = self.llc_banks[bank].lookup(line)
+                llc_clean = llc_entry is None or not (
+                    llc_entry.dirty
+                    and llc_entry.epoch is not None
+                    and not llc_entry.epoch.persisted
+                )
+                if llc_clean and self.directory.exclusive_ok(line, core_id):
+                    viable = entry is not None
+                    if viable:
+                        self.directory.set_owner(line, core_id)
+                    elif llc_entry is not None:
+                        # Same end state as _try_store -> _fill_l1 for
+                        # the clean-victim fill.
+                        filled = l1.clean_fill(line)
+                        if filled is not None:
+                            entry, victim_line = filled
+                            if self.track_values:
+                                if llc_entry.values is not None:
+                                    entry.values = dict(llc_entry.values)
+                                else:
+                                    stored = self.image.values.get(line)
+                                    entry.values = (dict(stored)
+                                                    if stored else {})
+                            self.directory.refill_owner(line, victim_line,
+                                                        core_id)
+                            viable = True
+                    if viable:
+                        entry.dirty = True
+                        entry.epoch = resolved
+                        resolved.lines.add(line)
+                        resolved.all_lines.add(line)
+                        if self.track_values and values:
+                            if entry.values is None:
+                                entry.values = {}
+                            entry.values.update(values)
+                        l1._tick = tick = l1._tick + 1
+                        entry._lru = tick
+                        lat = self._base_lat[core_id][bank]
+                        self._lat_sums[core_id] += lat
+                        self._lat_counts[core_id] += 1
+                        if lat > self._lat_maxes[core_id]:
+                            self._lat_maxes[core_id] = lat
+                        eng = self.engine
+                        done = eng.now + lat
+                        if (
+                            self._inline_depth < _MAX_INLINE_DEPTH
+                            and eng.try_advance(done)
+                        ):
+                            self._inline_depth += 1
+                            try:
+                                on_done(done)
+                            finally:
+                                self._inline_depth -= 1
+                            return
+                        eng.schedule_call(lat, on_done, done)
+                        return
         req = _Request(core_id, line, True, values, epoch, on_done)
         req.persist_sync = persist_sync
         req.wt_async = wt_async
@@ -667,23 +788,31 @@ class Multicore:
                          latency: int, sync: bool) -> None:
         line = req.line
         values = dict(entry.values) if entry.values is not None else None
-        mc = self.mcs[self.amap.mc_of(line)]
-        bank = self.amap.bank_of(line)
-        travel = self.mesh.core_to_mc(req.core_id, self.amap.mc_of(line))
+        mc_id = self.amap.mc_of(line)
+        mc = self.mcs[mc_id]
+        travel = self.mesh.core_to_mc(req.core_id, mc_id)
 
         if sync:
-            def issue_sync() -> None:
-                mc.write(line, req.core_id, -1, "data", values,
-                         callback=lambda t: req.on_done(t))
-            self.engine.schedule_call(latency + travel, issue_sync)
+            self.engine.schedule_call(
+                latency + travel, self._issue_write_through,
+                mc, line, req.core_id, values, req.on_done,
+            )
         else:
-            ack = req.on_persist_ack
-
-            def issue_async() -> None:
-                mc.write(line, req.core_id, -1, "data", values,
-                         callback=ack)
-            self.engine.schedule_call(latency + travel, issue_async)
+            self.engine.schedule_call(
+                latency + travel, self._issue_write_through,
+                mc, line, req.core_id, values, req.on_persist_ack,
+            )
             self._complete(req, latency)
+
+    @staticmethod
+    def _issue_write_through(
+        mc: MemoryController,
+        line: int,
+        core_id: int,
+        values: Optional[Dict[int, object]],
+        callback: Optional[Callable[[int], None]],
+    ) -> None:
+        mc.write(line, core_id, -1, "data", values, callback=callback)
 
     # ------------------------------------------------------------------
     # Conflict resolution
@@ -860,15 +989,16 @@ class Multicore:
         if l1.lookup(line) is not None:
             return True
         victim = l1.victim_for(line)
+        if victim is not None and victim.dirty:
+            if not self._writeback_to_llc(core_id, victim, req,
+                                          invalidate=True):
+                return False
+            victim = None  # the writeback already removed it
         if victim is not None:
-            if victim.dirty:
-                if not self._writeback_to_llc(core_id, victim, req,
-                                              invalidate=True):
-                    return False
-            else:
-                l1.remove(victim.line)
-                self.directory.drop_core(victim.line, core_id)
-        entry = l1.insert(line)
+            entry = l1.swap_in(line, victim)
+            self.directory.drop_core(victim.line, core_id)
+        else:
+            entry = l1.swap_in(line)
         if self.track_values:
             if source is not None and source.values is not None:
                 entry.values = dict(source.values)
@@ -898,45 +1028,50 @@ class Multicore:
                 + extra_lat
             )
 
-        def at_mc() -> None:
-            self.mcs[mc_id].read(line, filled)
+        self.engine.schedule_call(travel, self._mem_at_mc,
+                                  mc_id, req, bank, delivery)
 
-        def filled(_time: int) -> None:
-            bank_cache = self.llc_banks[bank]
-            raced_entry = bank_cache.lookup(line)
-            if self.directory.owner_of(line) is not None or (
-                raced_entry is not None and raced_entry.unpersisted
-            ):
-                # Another core's store completed (or wrote back a dirty
-                # version) while our read was at the memory controller;
-                # reclassify from scratch so ownership and conflict
-                # checks see the new state.
-                if self._fast:
-                    self._n_llc_fill_races += 1
-                else:
-                    self.stats.domain("llc").bump("fill_races")
-                self._try_access(req)
-                return
-            if raced_entry is None:
-                if not self._make_room_llc(bank_cache, line, req):
-                    return
-                llc_entry = bank_cache.insert(line)
-                if self.track_values:
-                    stored = self.image.values.get(line)
-                    llc_entry.values = dict(stored) if stored else {}
-            else:
-                llc_entry = bank_cache.lookup(line)
-            if not self._fill_l1(req.core_id, line, req, source=llc_entry):
-                return
-            if req.is_store:
-                self.directory.set_owner(line, req.core_id)
-                entry = self.l1s[req.core_id].lookup(line)
-                self._finish_store(req, entry, delivery)
-            else:
-                self.directory.add_sharer(line, req.core_id)
-                self._complete(req, delivery)
+    def _mem_at_mc(self, mc_id: int, req: _Request, bank: int,
+                   delivery: int) -> None:
+        self.mcs[mc_id].read(req.line, self._mem_fill_done,
+                             req, bank, delivery)
 
-        self.engine.schedule_call(travel, at_mc)
+    def _mem_fill_done(self, req: _Request, bank: int, delivery: int,
+                       _time: int) -> None:
+        line = req.line
+        bank_cache = self.llc_banks[bank]
+        raced_entry = bank_cache.lookup(line)
+        if self.directory.owner_of(line) is not None or (
+            raced_entry is not None and raced_entry.unpersisted
+        ):
+            # Another core's store completed (or wrote back a dirty
+            # version) while our read was at the memory controller;
+            # reclassify from scratch so ownership and conflict
+            # checks see the new state.
+            if self._fast:
+                self._n_llc_fill_races += 1
+            else:
+                self.stats.domain("llc").bump("fill_races")
+            self._try_access(req)
+            return
+        if raced_entry is None:
+            if not self._make_room_llc(bank_cache, line, req):
+                return
+            llc_entry = bank_cache.insert(line)
+            if self.track_values:
+                stored = self.image.values.get(line)
+                llc_entry.values = dict(stored) if stored else {}
+        else:
+            llc_entry = bank_cache.lookup(line)
+        if not self._fill_l1(req.core_id, line, req, source=llc_entry):
+            return
+        if req.is_store:
+            self.directory.set_owner(line, req.core_id)
+            entry = self.l1s[req.core_id].lookup(line)
+            self._finish_store(req, entry, delivery)
+        else:
+            self.directory.add_sharer(line, req.core_id)
+            self._complete(req, delivery)
 
     # ------------------------------------------------------------------
     # Persistence primitives
@@ -962,36 +1097,21 @@ class Multicore:
             return entry, None
         return None, None
 
-    def persist_line(
+    def flush_line_transition(
         self,
         entry: CacheEntry,
-        epoch: Optional[Epoch],
-        kind: str,
-        extra_delay: int = 0,
-        on_ack: Optional[Callable[[int], None]] = None,
-        invalidate: bool = False,
-        from_l1_core: Optional[int] = None,
-        evictor_core: int = -1,
-    ) -> None:
-        """Issue a durable write of ``entry``'s current value.
+        line: int,
+        invalidate: bool,
+        from_l1_core: Optional[int],
+    ) -> Optional[Dict[int, object]]:
+        """Cache-side transition of a line leaving the dirty domain.
 
-        The cache-side transition happens now (the version leaves the
-        dirty domain); the NVRAM image commit and ``on_ack`` fire when the
-        memory controller acknowledges the write.
+        Returns the value snapshot to commit (ownership passes to the
+        NVRAM image).  Shared between the flush engine's issue walker and
+        :meth:`persist_line`.
         """
-        line = entry.line
         values = dict(entry.values) if entry.values is not None else None
-        if epoch is not None:
-            epoch.lines.discard(line)
-            epoch.inflight_writes += 1
-            core_id, seq = epoch.core_id, epoch.seq
-        else:
-            core_id, seq = evictor_core, -1
-
-        if kind == "eviction":
-            # LLC replacement: only the LLC copy disappears.
-            self.llc_banks[self.amap.bank_of(line)].remove(line)
-        elif invalidate:
+        if invalidate:
             # clflush semantics: every cached copy is invalidated.
             if from_l1_core is not None:
                 self.l1s[from_l1_core].remove(line)
@@ -1009,26 +1129,85 @@ class Multicore:
             entry.epoch = None
             if from_l1_core is not None:
                 self.directory.clear_owner(line)
-                llc_entry = self.llc_banks[self.amap.bank_of(line)].lookup(line)
-                if llc_entry is not None and values is not None:
-                    llc_entry.values = dict(values)
+                if values is not None:
+                    llc_entry = self.llc_banks[
+                        self.amap.bank_of(line)].lookup(line)
+                    if llc_entry is not None:
+                        llc_entry.values = dict(values)
+        return values
+
+    def persist_line(
+        self,
+        entry: CacheEntry,
+        epoch: Optional[Epoch],
+        kind: str,
+        extra_delay: int = 0,
+        on_ack: Optional[Callable[[int], None]] = None,
+        invalidate: bool = False,
+        from_l1_core: Optional[int] = None,
+        evictor_core: int = -1,
+    ) -> None:
+        """Issue a durable write of ``entry``'s current value.
+
+        The cache-side transition happens now (the version leaves the
+        dirty domain); the NVRAM image commit and ``on_ack`` fire when the
+        memory controller acknowledges the write.  Used by the eviction
+        paths; epoch flushes go through the batch machinery in
+        :mod:`repro.core.flush` instead.
+        """
+        line = entry.line
+        if epoch is not None:
+            epoch.lines.discard(line)
+            epoch.inflight_writes += 1
+            core_id, seq = epoch.core_id, epoch.seq
+        else:
+            core_id, seq = evictor_core, -1
+
+        if kind == "eviction":
+            # LLC replacement: only the LLC copy disappears.
+            values = dict(entry.values) if entry.values is not None else None
+            self.llc_banks[self.amap.bank_of(line)].remove(line)
+        else:
+            values = self.flush_line_transition(
+                entry, line, invalidate, from_l1_core
+            )
 
         mc = self.mcs[self.amap.mc_of(line)]
-
-        def ack(time: int) -> None:
-            if epoch is not None:
-                epoch.inflight_writes -= 1
-                self.maybe_persist(epoch)
-            if on_ack is not None:
-                on_ack(time)
-
-        def issue() -> None:
-            mc.write(line, core_id, seq, kind, values, callback=ack)
-
         if extra_delay:
-            self.engine.schedule_call(extra_delay, issue)
+            self.engine.schedule_call(
+                extra_delay, self._issue_persist,
+                mc, line, core_id, seq, kind, values, epoch, on_ack,
+            )
         else:
-            issue()
+            self._issue_persist(
+                mc, line, core_id, seq, kind, values, epoch, on_ack
+            )
+
+    def _issue_persist(
+        self,
+        mc: MemoryController,
+        line: int,
+        core_id: int,
+        seq: int,
+        kind: str,
+        values: Optional[Dict[int, object]],
+        epoch: Optional[Epoch],
+        on_ack: Optional[Callable[[int], None]],
+    ) -> None:
+        if epoch is None and on_ack is None:
+            mc.write(line, core_id, seq, kind, values)
+        else:
+            mc.write(line, core_id, seq, kind, values,
+                     callback=self._persist_acked, cb_args=(epoch, on_ack))
+
+    def _persist_acked(self, epoch: Optional[Epoch],
+                       on_ack: Optional[Callable[[int], None]],
+                       time: int) -> None:
+        if epoch is not None:
+            epoch.inflight_writes -= 1
+            self.maybe_persist(epoch)
+        if on_ack is not None:
+            on_ack(time)
 
     def maybe_persist(self, epoch: Epoch) -> None:
         """Declare ``epoch`` persisted if every condition now holds."""

@@ -16,9 +16,12 @@ sdg        insert/delete edges in a scalable directed graph
 sps        random swaps between entries in an array
 =========  =====================================================
 
-The package also registers ``hotset``, a cache-resident read-mostly loop
-used by the single-run engine benchmark (not part of Table 2; see
-:mod:`repro.workloads.micro.hotset`).
+The package also registers two simulator benchmarks that are not part
+of Table 2: ``hotset``, a cache-resident read-mostly loop used by the
+single-run engine benchmark (:mod:`repro.workloads.micro.hotset`), and
+``flushbound``, a streaming miss-heavy loop with a barrier per
+transaction used by the flush-path benchmark
+(:mod:`repro.workloads.micro.flushbound`).
 """
 
 from repro.workloads.micro.common import (
@@ -27,6 +30,7 @@ from repro.workloads.micro.common import (
     MICROBENCHMARKS,
     make_benchmark,
 )
+from repro.workloads.micro.flushbound import FlushBoundWorkload
 from repro.workloads.micro.hashtable import HashTableWorkload
 from repro.workloads.micro.hotset import HotSetWorkload
 from repro.workloads.micro.queue import QueueWorkload
@@ -36,6 +40,7 @@ from repro.workloads.micro.sps import SPSWorkload
 
 __all__ = [
     "ENTRY_SIZE",
+    "FlushBoundWorkload",
     "HashTableWorkload",
     "HotSetWorkload",
     "MICROBENCHMARKS",

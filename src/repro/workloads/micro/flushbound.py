@@ -1,0 +1,97 @@
+"""Flushbound: a streaming miss-heavy loop with a barrier per txn.
+
+The complement of :mod:`repro.workloads.micro.hotset`: where hotset
+isolates the L1-hit request path, ``flushbound`` is built to spend its
+time in the *flush* critical path and the L1-miss/LLC-hit fill path.
+Like hotset it is a simulator benchmark, not a Table 2 structure.
+
+The workload streams over a footprint sized between the private L1 and
+the LLC (default 32 entries x 512 B = 16 KiB against the tiny scale's
+4 KiB L1 / 64 KiB LLC), so after the first lap:
+
+* every load misses the L1 and hits the LLC -- the fused
+  L1-miss/LLC-hit fill path;
+* every store upgrades a clean resident line -- the fused store
+  upgrade path;
+* every transaction ends in a persist barrier, closing an 8-line epoch
+  that the LB++ proactive flusher immediately pushes through the
+  FlushEpoch/BankAck/PersistCMP handshake and the memory-controller
+  write FIFOs.
+
+One transaction scans ``scan_entries`` consecutive entries (8 line
+loads each) and stores the first of them back (8 line stores, then a
+barrier), advancing the cursor past everything it scanned so the LRU
+streams cleanly, evicted victims have already been flushed clean, and
+no scanned line is re-touched before a full lap has evicted it.  The
+default scan of two entries keeps the op mix miss-dominated (two line
+fills per line flushed) while every transaction still closes a small
+8-line epoch.  Think time and the shared statistics update are
+disabled by default: the run should be dense miss-and-flush traffic,
+nothing else.
+
+``flushbound`` is registered with the factory (``make_benchmark``) but,
+like hotset, is deliberately *not* part of ``BEP_BENCHMARKS``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+
+@register
+class FlushBoundWorkload(MicroBenchmark):
+    name = "flushbound"
+
+    def __init__(
+        self,
+        *args,
+        num_entries: int = 32,
+        scan_entries: int = 2,
+        think_cycles: int = 0,
+        shared_update_every: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            *args,
+            think_cycles=think_cycles,
+            shared_update_every=shared_update_every,
+            **kwargs,
+        )
+        if num_entries < 1:
+            raise ValueError("flushbound needs at least one entry")
+        if not 1 <= scan_entries <= num_entries:
+            raise ValueError("scan_entries must be in [1, num_entries]")
+        self.num_entries = num_entries
+        self.scan_entries = scan_entries
+        self._array = self.heap.alloc(num_entries * ENTRY_SIZE)
+        self._cursor = 0
+        self.generation = 0
+
+    def entry_addr(self, index: int) -> int:
+        return self._array + index * ENTRY_SIZE
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        for index in range(self.num_entries):
+            yield from self.store_obj(
+                self.entry_addr(index), ENTRY_SIZE, ("init", index)
+            )
+        yield barrier()
+
+    def transaction(self) -> Iterator[Op]:
+        index = self._cursor
+        self._cursor += self.scan_entries
+        if self._cursor >= self.num_entries:
+            self._cursor = 0
+            self.generation += 1
+        for offset in range(self.scan_entries):
+            scanned = (index + offset) % self.num_entries
+            yield from self.load_obj(self.entry_addr(scanned), ENTRY_SIZE)
+        yield from self.store_obj(
+            self.entry_addr(index), ENTRY_SIZE,
+            ("gen", self.generation, index),
+        )
+        yield barrier()

@@ -20,7 +20,7 @@ ALL_NAMES = ["hash", "queue", "rbtree", "sdg", "sps"]
 
 # Simulator-only workloads: registered with the factory but not part of
 # Table 2 (and so excluded from the paper's figure sweeps).
-EXTRA_NAMES = ["hotset"]
+EXTRA_NAMES = ["flushbound", "hotset"]
 
 
 def test_registry_matches_table2():
