@@ -103,7 +103,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.harness.bench import digests_ok, run_bench
     record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
                        transactions=args.transactions, profile=args.profile,
-                       sweep=not args.no_sweep, workload=args.workload)
+                       sweep=not args.no_sweep, workload=args.workload,
+                       only=args.only)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1
@@ -244,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--workload", default=None,
                          help="micro for the flush-bound run and --profile "
                               "(default flushbound)")
+    bench_p.add_argument("--only", choices=("single", "flush", "multicore"),
+                         default=None,
+                         help="run just one headline family (skips the "
+                              "matrix, crash-recovery, and sweep sections)")
     bench_p.add_argument("--check-digests", action="store_true",
                          help="exit nonzero unless every fast-vs-reference "
                               "digest and crash-recovery verdict matches")

@@ -51,6 +51,7 @@ class Arbiter:
         # (the pump runs after every flush completion and unblock event,
         # and iterates a window of up to eight epochs each time).
         self._seen: set = set()
+        self._fast = machine.engine.fast
 
     # ------------------------------------------------------------------
     # Requests
@@ -76,8 +77,11 @@ class Arbiter:
             # persist (or catches still persisting) counts as conflict-
             # flushed; only epochs that completed their persist before any
             # conflict arrived count as clean offline persists.
-            for e in self._manager.unpersisted_upto(epoch.seq, strand):
-                e.conflict_flush = True
+            # (unpersisted_upto inlined: no list allocation per request.)
+            seq = epoch.seq
+            for e in self._manager.window:
+                if e.seq <= seq and e.strand == strand:
+                    e.conflict_flush = True
         if epoch.seq > self._flush_horizon.get(strand, -1):
             self._flush_horizon[strand] = epoch.seq
         if online and epoch.seq > self._online_horizon.get(strand, -1):
@@ -95,56 +99,39 @@ class Arbiter:
         """
         if self.active is not None:
             return
-        # The candidate walk (EpochManager.flush_candidates) is inlined:
-        # each strand's head epoch that is within its flush horizon, in
-        # window order, with the horizon read straight off the dict.
-        horizon = self._flush_horizon.get
-        seen = self._seen
-        seen.clear()
-        head = None
-        for candidate in self._manager.window:
-            strand = candidate.strand
-            if strand in seen:
-                continue
-            seen.add(strand)
-            if candidate.seq > horizon(strand, -1):
-                continue
-            if candidate.ongoing:
-                # The horizon can only cover an ongoing epoch transiently
-                # (e.g. requests raced with a split); wait for its barrier.
-                continue
-            if not candidate.complete:
-                # EpochCMP not yet received: stores still draining from
-                # the write buffer.  FIFO drain guarantees completion soon.
-                candidate.on_complete(self.pump)
-                continue
-            online = candidate.seq <= self._online_horizon.get(
+        manager = self._manager
+        window = manager.window
+        if self._fast and not manager.multi_strand:
+            # Single strand (the common case): the only candidate is the
+            # window head -- the walk below would visit it first and skip
+            # every later epoch as a seen-strand duplicate.
+            if not window:
+                return
+            candidate = window[0]
+            if candidate.seq > self._flush_horizon.get(
                 candidate.strand, -1
-            )
-            blocked = False
-            for source in (list(candidate.idt_sources)
-                           if candidate.idt_sources else ()):
-                if source.persisted:
+            ):
+                return
+            head = self._flushable(candidate)
+        else:
+            # The candidate walk (EpochManager.flush_candidates) is
+            # inlined: each strand's head epoch that is within its flush
+            # horizon, in window order, horizon read straight off the
+            # dict.
+            horizon = self._flush_horizon.get
+            seen = self._seen
+            seen.clear()
+            head = None
+            for candidate in window:
+                strand = candidate.strand
+                if strand in seen:
                     continue
-                blocked = True
-                source.on_persist(self.pump)
-                if online:
-                    # Propagate critical-path demand through the IDT edge.
-                    self._machine.arbiters[
-                        source.core_id
-                    ].request_flush_upto(
-                        source, online=True, mark_conflict=False
-                    )
-            if blocked:
-                self._stats.bump("flush_blocked_on_source")
-                continue
-            if candidate.outstanding_log_writes:
-                # Undo-log entries must be durable before any data line of
-                # the epoch persists; the log-ack callback re-pumps.
-                self._stats.bump("flush_blocked_on_log")
-                continue
-            head = candidate
-            break
+                seen.add(strand)
+                if candidate.seq > horizon(strand, -1):
+                    continue
+                head = self._flushable(candidate)
+                if head is not None:
+                    break
         if head is None:
             return
         online = head.seq <= self._online_horizon.get(head.strand, -1)
@@ -157,6 +144,47 @@ class Arbiter:
             )
         self.active = self._flush_op
         self._flush_op.begin(head)
+
+    def _flushable(self, candidate: Epoch) -> Optional[Epoch]:
+        """``candidate`` if it can start flushing right now, else None.
+
+        Registers the re-pump callbacks (barrier completion, IDT source
+        persists) and propagates online demand through IDT edges as a
+        side effect, exactly as the historical inline walk did.
+        """
+        if candidate.ongoing:
+            # The horizon can only cover an ongoing epoch transiently
+            # (e.g. requests raced with a split); wait for its barrier.
+            return None
+        if not candidate.complete:
+            # EpochCMP not yet received: stores still draining from
+            # the write buffer.  FIFO drain guarantees completion soon.
+            candidate.on_complete(self.pump)
+            return None
+        online = candidate.seq <= self._online_horizon.get(
+            candidate.strand, -1
+        )
+        blocked = False
+        for source in (list(candidate.idt_sources)
+                       if candidate.idt_sources else ()):
+            if source.persisted:
+                continue
+            blocked = True
+            source.on_persist(self.pump)
+            if online:
+                # Propagate critical-path demand through the IDT edge.
+                self._machine.arbiters[source.core_id].request_flush_upto(
+                    source, online=True, mark_conflict=False
+                )
+        if blocked:
+            self._stats.bump("flush_blocked_on_source")
+            return None
+        if candidate.outstanding_log_writes:
+            # Undo-log entries must be durable before any data line of
+            # the epoch persists; the log-ack callback re-pumps.
+            self._stats.bump("flush_blocked_on_log")
+            return None
+        return candidate
 
     def _flush_done(self, epoch: Epoch) -> None:
         self.active = None

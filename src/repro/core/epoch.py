@@ -44,6 +44,7 @@ class Epoch:
     __slots__ = (
         "core_id",
         "seq",
+        "key",
         "strand",
         "status",
         "lines",
@@ -55,6 +56,7 @@ class Epoch:
         "outstanding_checkpoint_writes",
         "idt_sources",
         "idt_dependents",
+        "idt_last",
         "all_sources",
         "persist_waiters",
         "complete_waiters",
@@ -74,6 +76,11 @@ class Epoch:
                  manager: "EpochManager", strand: int = 0) -> None:
         self.core_id = core_id
         self.seq = seq
+        # Interned identity tuple: every structure that records the
+        # epoch by (core, seq) -- the IDT's all_sources log, digests --
+        # shares this one object instead of building a fresh tuple per
+        # conflict.
+        self.key = (core_id, seq)
         # Strand persistency (Pelley et al.): epochs of different strands
         # of the same thread carry no mutual ordering constraint.  The
         # default single strand (0) gives ordinary (buffered) epoch
@@ -101,6 +108,11 @@ class Epoch:
         # IDT edges (section 3.1).
         self.idt_sources: Set["Epoch"] = set()
         self.idt_dependents: Set["Epoch"] = set()
+        # Edge-interning memo (fast mode): the last source this epoch
+        # recorded (or found already covered) via IDTracker.try_record.
+        # Contended sharing hits the same epoch pair many times in a
+        # row; the memo short-circuits the re-scan of idt_sources.
+        self.idt_last: Optional["Epoch"] = None
         # Permanent (core, seq) log of every IDT source ever recorded,
         # for the recovery checker (idt_sources drains as sources persist).
         self.all_sources: Set[tuple] = set()
@@ -204,6 +216,11 @@ class EpochManager:
         # ongoing epoch of each strand.
         self.active_strand = 0
         self._ongoing: "dict[int, Epoch]" = {}
+        # Latched once any non-default strand appears (via set_strand or
+        # an explicit-strand epoch).  While False -- the overwhelmingly
+        # common case -- the window is totally ordered, so the arbiter
+        # and the dependency checks can use head-only fast paths.
+        self.multi_strand = False
         self.total_epochs = 0
         # Epochs that have persisted, kept for the recovery checker when
         # epoch logging is enabled.
@@ -221,6 +238,8 @@ class EpochManager:
     # ------------------------------------------------------------------
     def _new_epoch(self, strand: Optional[int] = None) -> Epoch:
         strand = self.active_strand if strand is None else strand
+        if strand != 0:
+            self.multi_strand = True
         epoch = Epoch(self.core_id, self._next_seq, self._engine.now,
                       self, strand=strand)
         self._next_seq += 1
@@ -239,6 +258,8 @@ class EpochManager:
             raise ValueError("strand ids must be non-negative")
         if strand != self.active_strand:
             self._stats.bump("strand_switches")
+        if strand != 0:
+            self.multi_strand = True
         self.active_strand = strand
 
     @property
@@ -401,6 +422,15 @@ class EpochManager:
         default single strand: all older window epochs); IDT sources are
         cross-core edges.
         """
+        if self._engine.fast and not self.multi_strand:
+            # Single strand: the window is totally ordered, so the only
+            # epoch with no unpersisted predecessor is the head; any
+            # epoch off the window has retired.  Same answer as the
+            # scan below, without walking the prefix.
+            window = self.window
+            if window and window[0] is epoch:
+                return all(src.persisted for src in epoch.idt_sources)
+            return epoch.persisted
         idx = self._index_of(epoch)
         if idx is None:
             return True  # already retired
@@ -415,16 +445,26 @@ class EpochManager:
             raise RuntimeError(f"{epoch} persisted twice")
         if not epoch.empty:
             raise RuntimeError(f"{epoch} marked persisted with work pending")
-        idx = self._index_of(epoch)
-        if idx is None:
-            raise RuntimeError(f"{epoch} not in window")
-        for i in range(idx):
-            if self.window[i].strand == epoch.strand:
-                raise RuntimeError(
-                    f"{epoch} persisted before same-strand predecessor "
-                    f"{self.window[i]}"
-                )
-        self.window.pop(idx)
+        window = self.window
+        if self._engine.fast and window and window[0] is epoch:
+            # Fast path for the overwhelmingly common case (single
+            # strand: epochs persist strictly in window order, so the
+            # retiree is the head).  The reference mode keeps the full
+            # scan below -- the window-membership and same-strand
+            # predecessor checks are internal-bug assertions with no
+            # observable effect on a correct run.
+            window.pop(0)
+        else:
+            idx = self._index_of(epoch)
+            if idx is None:
+                raise RuntimeError(f"{epoch} not in window")
+            for i in range(idx):
+                if window[i].strand == epoch.strand:
+                    raise RuntimeError(
+                        f"{epoch} persisted before same-strand predecessor "
+                        f"{window[i]}"
+                    )
+            window.pop(idx)
         epoch.status = EpochStatus.PERSISTED
         epoch.persisted = True
         epoch.persisted_at = self._engine.now
@@ -435,10 +475,13 @@ class EpochManager:
             self.retired.append(epoch)
         # Inform dependents first (the inform registers of section 4.2) so
         # that waiters re-examining dependency state see the edges gone.
-        dependents = list(epoch.idt_dependents)
-        epoch.idt_dependents.clear()
-        for dependent in dependents:
-            dependent.idt_sources.discard(epoch)
+        if epoch.idt_dependents:
+            dependents = list(epoch.idt_dependents)
+            epoch.idt_dependents.clear()
+            for dependent in dependents:
+                dependent.idt_sources.discard(epoch)
+        else:
+            dependents = ()
         waiters, epoch.persist_waiters = epoch.persist_waiters, []
         # Hold the clock across the fan-out (see EpochManager._complete):
         # waking a parked core can complete its next request inline, and

@@ -139,8 +139,12 @@ class FlushOperation:
         # Partition the epoch's lines by owning bank.
         num_banks = self._num_banks
         shift = self._line_shift
+        epoch_lines = epoch.lines
+        if len(epoch_lines) == 1:
+            self._begin_single(epoch, next(iter(epoch_lines)))
+            return
         per_bank: List[Optional[List[int]]] = [None] * num_banks
-        for line in sorted(epoch.lines):
+        for line in sorted(epoch_lines):
             bank = (line >> shift) % num_banks
             bucket = per_bank[bank]
             if bucket is None:
@@ -151,6 +155,7 @@ class FlushOperation:
         c2b_row = self._mesh.c2b[core]
         b2mc = self._mesh.b2mc
         mcs = machine.mcs
+        l1 = machine.l1s[core]
         seq = epoch.seq
         outstanding = self._bank_outstanding
         state = self._bank_state
@@ -160,17 +165,16 @@ class FlushOperation:
             outstanding[bank] = 0
             pos[bank] = 0
             sched[bank] = None
-            hop = 0 if ideal else c2b_row[bank]
             lines = per_bank[bank]
             if not lines:
                 # Step 3 degenerate case: nothing to flush in this bank;
-                # it acks as soon as FlushEpoch arrives.
+                # it acks as soon as FlushEpoch arrives (batched with
+                # its equidistant peers after this loop).
                 state[bank] = _ACK_SENT
-                engine.schedule_call(2 * hop, self._bank_ack, bank)
                 continue
+            hop = 0 if ideal else c2b_row[bank]
             state[bank] = _ISSUING
             base = now + hop
-            l1 = machine.l1s[core]
             entries: List[list] = []
             monotone = True
             prev = -1
@@ -238,6 +242,85 @@ class FlushOperation:
             sched[bank] = entries
             engine.schedule_call(entries[0][0] - now, self._issue_bank, bank)
 
+        # Empty-bank acks, batched per mesh-distance class: all banks of
+        # a class receive FlushEpoch -- and send their BankAck -- at the
+        # same cycle, so each class is one fanout (one queue entry in
+        # fast mode) instead of a heap event per bank.  Only the final
+        # BankAck of a flush is observable beyond the ack counter, and
+        # it cannot share a cycle with this flush's own walkers'
+        # completions, so delivery order within a class is inert.
+        if self._ideal:
+            empty = [b for b in range(num_banks) if per_bank[b] is None]
+            if empty:
+                engine.schedule_fanout(0, self._bank_ack, empty)
+        else:
+            for hop_lat, group in self._mesh.ack_groups[core]:
+                empty = [b for b in group if per_bank[b] is None]
+                if empty:
+                    engine.schedule_fanout(2 * hop_lat, self._bank_ack,
+                                           empty)
+
+    # ------------------------------------------------------------------
+    def _begin_single(self, epoch: Epoch, line: int) -> None:
+        """Specialised :meth:`begin` tail for a one-line epoch.
+
+        Contended runs (a barrier per transaction) make single-line
+        epochs the dominant flush shape, and the generic path's per-bank
+        partition/monotonicity/batching scaffolding is pure overhead for
+        them.  Every schedule happens at the same cycle, in the same
+        order, consuming the same sequence numbers as the generic path
+        would -- this is a fast reformulation of the same handshake, not
+        a different one, and both engine modes take it.
+        """
+        machine = self._machine
+        engine = self._engine
+        now = engine.now
+        ideal = self._ideal
+        core = epoch.core_id
+        num_banks = self._num_banks
+        shift = self._line_shift
+        bank = (line >> shift) % num_banks
+
+        outstanding = self._bank_outstanding
+        sched = self._bank_sched
+        pos = self._bank_pos
+        state = self._bank_state
+        for b in range(num_banks):
+            outstanding[b] = 0
+            pos[b] = 0
+            sched[b] = None
+            state[b] = _ACK_SENT
+        state[bank] = _ISSUING
+
+        t = now + (0 if ideal else self._mesh.c2b[core][bank])
+        l1_entry = machine.l1s[core].lookup(line)
+        in_l1 = (
+            l1_entry is not None
+            and l1_entry.dirty
+            and l1_entry.epoch is epoch
+        )
+        if in_l1:
+            t += self._config.llc_latency
+        mc_id = (line >> shift) % self._n_mcs
+        arrival = t if ideal else t + self._mesh.b2mc[bank][mc_id]
+        entry = [t, line, None, 0, in_l1]
+        entry[2] = machine.mcs[mc_id].write_batch(
+            [arrival], [line], core, epoch.seq, "data", self._bank_cbs[bank]
+        )
+        sched[bank] = [entry]
+        engine.schedule_call(t - now, self._issue_bank, bank)
+
+        if ideal:
+            empty = [b for b in range(num_banks) if b != bank]
+            if empty:
+                engine.schedule_fanout(0, self._bank_ack, empty)
+        else:
+            for hop_lat, group in self._mesh.ack_groups[core]:
+                empty = [b for b in group if b != bank]
+                if empty:
+                    engine.schedule_fanout(2 * hop_lat, self._bank_ack,
+                                           empty)
+
     # ------------------------------------------------------------------
     def _issue_bank(self, bank: int) -> None:
         """Walk the bank's issue schedule at the current cycle.
@@ -254,7 +337,7 @@ class FlushOperation:
         now = engine.now
         epoch = self._epoch
         machine = self._machine
-        lines = epoch.lines
+        untag = machine._untag_line
         stats = self._stats
         invalidate = self._invalidate
         # locate_epoch_line inlined: the walker runs once per flushed
@@ -269,7 +352,10 @@ class FlushOperation:
                 break
             pos += 1
             line = entry[1]
-            if line not in lines:
+            # _untag_line doubles as the membership test: False means
+            # the line already left the epoch (evicted and persisted via
+            # the eviction path while this flush was queued).
+            if not untag(epoch, line):
                 continue
             centry = l1.lookup(line) if entry[4] else None
             if centry is not None and centry.dirty and centry.epoch is epoch:
@@ -286,10 +372,8 @@ class FlushOperation:
                     # The line left the caches since the epoch recorded
                     # it -- its NVRAM write is in flight via the
                     # eviction path.
-                    lines.discard(line)
                     stats.bump("flush_lines_already_inflight")
                     continue
-            lines.discard(line)
             epoch.inflight_writes += 1
             issued += 1
             entry[2].mark_issued(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.engine import fast_paths_enabled
 from repro.sim.stats import StatDomain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -36,6 +37,7 @@ class IDTracker:
             raise ValueError("need at least one IDT register pair per epoch")
         self._registers = registers_per_epoch
         self._stats = stats
+        self._fast = fast_paths_enabled()
 
     def try_record(self, source: "Epoch", dependent: "Epoch") -> bool:
         """Attempt to record ``source`` happens-before ``dependent``.
@@ -46,10 +48,20 @@ class IDTracker:
         """
         if source.persisted:
             return True
+        if self._fast and dependent.idt_last is source:
+            # Interned edge (fast mode): the immediately preceding
+            # record on this dependent was the same source, so the edge
+            # is already tracked or subsumed and ``all_sources`` already
+            # logged the pair.  Contended sharing repeats one epoch pair
+            # per touched line; this skips the re-scan.  Every path that
+            # sets the memo bumps no counters on re-entry, so fast and
+            # reference stat counters stay identical.
+            return True
         if source.core_id == dependent.core_id:
             raise ValueError("IDT edges are inter-thread only")
-        dependent.all_sources.add((source.core_id, source.seq))
+        dependent.all_sources.add(source.key)
         if source in dependent.idt_sources:
+            dependent.idt_last = source
             return True
 
         # Subsumption: an existing edge to a *newer* epoch of the same
@@ -64,6 +76,7 @@ class IDTracker:
                     or existing.strand != source.strand):
                 continue
             if existing.seq >= source.seq:
+                dependent.idt_last = source
                 return True
             superseded = existing
             break
@@ -84,5 +97,6 @@ class IDTracker:
 
         dependent.idt_sources.add(source)
         source.idt_dependents.add(dependent)
+        dependent.idt_last = source
         self._stats.bump("idt_edges")
         return True

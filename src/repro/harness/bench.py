@@ -10,10 +10,14 @@ performance trajectory is tracked across PRs:
   comparison is repeated across all six persistency models, and crash-
   recovery verdicts (epoch-order / undo-log checkers on a crashed run)
   are compared fast-vs-reference too.  This is the per-run simulation
-  loop the sweeps are made of.  Two headline workloads bracket the
-  engine: ``hotset`` (cache-resident, measures the hit fast path) and
+  loop the sweeps are made of.  Three headline workloads bracket the
+  engine: ``hotset`` (cache-resident, measures the hit fast path),
   ``flushbound`` (miss-heavy small epochs, measures the pooled flush
-  handshake, the batch MC write path, and the fused miss path).
+  handshake, the batch MC write path, and the fused miss path), and
+  ``pingpong`` (contended 4-core producer/consumer pairs, measures the
+  conflict path: directory lookups, epoch-tag probes, IDT edges, and
+  epoch splits, with the conflict counters compared fast vs reference
+  alongside the digest).
 * **sweep** -- the PR-1 executor benchmark: a fixed tiny-scale
   multi-figure sweep timed serial, parallel, and against a warm result
   cache.
@@ -57,7 +61,8 @@ from repro.sim.config import (
     MachineConfig,
     PersistencyModel,
 )
-from repro.sim.digest import state_digest
+from repro.sim.digest import run_digest, state_digest
+from repro.sim.stats import Stats
 from repro.system import Multicore
 from repro.workloads.micro import make_benchmark
 
@@ -94,6 +99,21 @@ _FLUSH_RUN_TRANSACTIONS = 600
 _FLUSH_RUN_BENCHMARK = "flushbound"
 _FLUSH_RUN_PAIRS = 7
 
+# Multicore conflict-path headline run: ``pingpong`` pairs hammering a
+# shared mailbox on 4 cores under BEP + LB++.  Every transaction leads
+# with a contended mailbox ack and then copies an entry-sized payload,
+# so mailbox stores routinely land mid-epoch on the partner side --
+# the ratio measures the directory fast path, the per-line epoch-tag
+# probe, IDT edge interning, and the split path, the inter-thread
+# machinery the single-core runs never touch.  250 transactions keeps
+# the contended run (4 programs, frequent conflicts) in the same
+# wall-time band as the other headlines.
+_MULTI_RUN_TRANSACTIONS = 250
+_MULTI_RUN_BENCHMARK = "pingpong"
+_MULTI_RUN_CORES = 4
+_MULTI_RUN_PAIRS = 7
+_MULTI_CONFLICT_RATE = 1.0
+
 # Crash-recovery verdicts: run a queue workload to a fixed crash cycle
 # in both engine modes and compare what the consistency checkers see.
 # BEP exercises the epoch-order checker; BSP additionally exercises the
@@ -117,6 +137,19 @@ _DIGEST_MODELS = (
     PersistencyModel.BEP,
     PersistencyModel.BSP,
     PersistencyModel.BSP_WT,
+)
+
+# Multicore digest matrix: the contended ``pingpong`` run at 4 and 8
+# cores, under the baseline lazy barrier and the full LB++ design.  The
+# per-model matrix above runs the stock 2-core tiny config, so it never
+# exercises real inter-thread conflicts, IDT edges, or deadlock-avoiding
+# epoch splits; these configurations do, on both sides of the
+# with/without-IDT divide.
+_MULTICORE_DIGEST_CONFIGS = (
+    (4, BarrierDesign.LB),
+    (4, BarrierDesign.LB_PP),
+    (8, BarrierDesign.LB),
+    (8, BarrierDesign.LB_PP),
 )
 
 
@@ -316,6 +349,155 @@ def run_flush_bench(seed: int = 1,
     }
 
 
+def _multicore_setup(
+    seed: int, transactions: int,
+    num_cores: int = _MULTI_RUN_CORES,
+    barrier_design: BarrierDesign = BarrierDesign.LB_PP,
+    conflict_rate: float = _MULTI_CONFLICT_RATE,
+) -> Tuple[MachineConfig, List[list]]:
+    """Contended-pingpong configuration.
+
+    Separate from :func:`_single_run_setup` because pingpong takes a
+    workload knob (``conflict_rate``) the generic builder does not
+    forward.
+    """
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=barrier_design,
+        num_cores=num_cores,
+        # One LLC bank per tile and a 2D mesh, as in Figure 2 (the stock
+        # tiny config is a 2-tile chain, which undersells the flush
+        # handshake's bank fan-out and gives every bank a distinct hop
+        # distance, so the ack fan-outs would never batch).
+        llc_banks=num_cores,
+        mesh_rows=2,
+    )
+    programs = [
+        list(
+            make_benchmark(
+                _MULTI_RUN_BENCHMARK, thread_id=tid, seed=seed,
+                line_size=config.line_size,
+                conflict_rate=conflict_rate,
+            ).ops(transactions)
+        )
+        for tid in range(config.num_cores)
+    ]
+    return config, programs
+
+
+def conflict_counters(stats: Stats) -> Dict[str, int]:
+    """The conflict-path counters a fast path could silently skew.
+
+    Inter-/intra-thread conflict detections and IDT trackings live in
+    the machine-wide ``conflicts`` domain; edge recordings and register
+    overflows in ``idt``; splits and persisted-epoch counts are summed
+    across the per-core domains.  The multicore bench asserts these are
+    identical fast vs reference -- a stronger, more legible check than
+    the digest alone, since each counter names one mechanism.
+    """
+    conflicts = stats.domain("conflicts")
+    idt = stats.domain("idt")
+    return {
+        "inter_thread": int(conflicts.get("inter_thread")),
+        "intra_thread": int(conflicts.get("intra_thread")),
+        "idt_tracked": int(conflicts.get("idt_tracked")),
+        "idt_edges": int(idt.get("idt_edges")),
+        "idt_register_overflow": int(idt.get("idt_register_overflow")),
+        "epoch_splits": int(stats.total("epoch_splits")),
+        "epochs_persisted": int(stats.total("epochs_persisted")),
+    }
+
+
+def run_multicore_bench(seed: int = 1,
+                        transactions: int = _MULTI_RUN_TRANSACTIONS,
+                        pairs: int = _MULTI_RUN_PAIRS) -> dict:
+    """Time the contended multicore headline run fast vs reference.
+
+    Completes the headline trio: ``hotset`` measures the hit path,
+    ``flushbound`` the flush/miss path, and this run the conflict path
+    -- directory lookups, epoch-tag probes, IDT edges, and epoch splits
+    under real inter-thread contention.  Besides the digest, the
+    conflict-path counters themselves are compared across modes.
+    """
+    config, programs = _multicore_setup(seed, transactions)
+    n_ops = sum(len(p) for p in programs)
+
+    fast_s, slow_s, fast_digest, slow_digest = _measure_interleaved(
+        config, programs, pairs
+    )
+
+    def counters(slow: bool) -> Dict[str, int]:
+        with reference_mode(slow):
+            machine = Multicore(config)
+            result = machine.run(programs)
+        return conflict_counters(result.stats)
+
+    fast_counters = counters(False)
+    slow_counters = counters(True)
+    counters_match = fast_counters == slow_counters
+
+    fast_ops = n_ops / fast_s if fast_s else 0.0
+    slow_ops = n_ops / slow_s if slow_s else 0.0
+    print(f"[bench] multicore run ({_MULTI_RUN_BENCHMARK}, BEP/LB++, "
+          f"{config.num_cores} core(s), {transactions} txns, {n_ops} ops):")
+    print(f"[bench]   fast paths:    {fast_ops:10.0f} ops/s "
+          f"({fast_s * 1e3:.1f} ms)")
+    print(f"[bench]   reference:     {slow_ops:10.0f} ops/s "
+          f"({slow_s * 1e3:.1f} ms)")
+    print(f"[bench]   speedup:       {fast_ops / slow_ops:10.2f}x, digest "
+          f"{'MATCH' if fast_digest == slow_digest else 'MISMATCH'}")
+    print(f"[bench]   conflicts:     {fast_counters['inter_thread']} "
+          f"inter-thread, {fast_counters['idt_edges']} IDT edges, "
+          f"{fast_counters['epoch_splits']} splits, counters "
+          f"{'MATCH' if counters_match else 'MISMATCH'}")
+
+    return {
+        "benchmark": _MULTI_RUN_BENCHMARK,
+        "persistency": "bep",
+        "barrier_design": "lb_pp",
+        "num_cores": config.num_cores,
+        "conflict_rate": _MULTI_CONFLICT_RATE,
+        "transactions": transactions,
+        "ops": n_ops,
+        "pairs": pairs,
+        "ops_per_sec": {
+            "fast": round(fast_ops, 1),
+            "reference": round(slow_ops, 1),
+        },
+        "wall_seconds": {
+            "fast": round(fast_s, 4),
+            "reference": round(slow_s, 4),
+        },
+        "speedup": round(fast_ops / slow_ops, 3) if slow_ops else None,
+        "digest_match": fast_digest == slow_digest,
+        "counters": fast_counters,
+        "counters_match": counters_match,
+    }
+
+
+def multicore_digest_matrix(
+    seed: int = 1, transactions: int = _DIGEST_TRANSACTIONS,
+) -> Dict[str, dict]:
+    """Fast-vs-reference digests for contended multicore configs."""
+    rows: Dict[str, dict] = {}
+    for cores, design in _MULTICORE_DIGEST_CONFIGS:
+        config, programs = _multicore_setup(
+            seed, transactions, num_cores=cores, barrier_design=design,
+        )
+        fast = run_digest(config, programs)
+        with reference_mode():
+            ref = run_digest(config, programs)
+        rows[f"{cores}c/{design.value}"] = {
+            "fast": fast,
+            "reference": ref,
+            "match": fast == ref,
+        }
+    matched = sum(r["match"] for r in rows.values())
+    print(f"[bench] multicore digests: {matched}/{len(rows)} configs "
+          "match fast vs reference")
+    return rows
+
+
 def digest_matrix(seed: int = 1,
                   transactions: int = _DIGEST_TRANSACTIONS) -> Dict[str, dict]:
     """Fast-vs-reference digest comparison per persistency model."""
@@ -423,10 +605,13 @@ def run_profile(seed: int = 1,
     simulator time goes); ``--workload hotset`` profiles the
     cache-resident hit path instead.
     """
-    # Flush-bound profiling wants the flush bench's exact configuration
-    # (BEP + LB++ proactive flushing); everything else profiles under
-    # the plain single-run config.
-    if benchmark == _FLUSH_RUN_BENCHMARK:
+    # Flush-bound and multicore profiling want their benches' exact
+    # configurations (BEP + LB++; pingpong additionally 4 cores and the
+    # headline conflict rate); everything else profiles under the plain
+    # single-run config.
+    if benchmark == _MULTI_RUN_BENCHMARK:
+        config, programs = _multicore_setup(seed, transactions)
+    elif benchmark == _FLUSH_RUN_BENCHMARK:
         config, programs = _single_run_setup(
             seed, transactions, benchmark=benchmark, num_cores=1,
             barrier_design=BarrierDesign.LB_PP,
@@ -536,7 +721,7 @@ def run_sweep_bench(jobs: int, seed: int) -> dict:
 def _headline(record: dict) -> dict:
     """The numbers worth carrying forward in the trajectory."""
     entry: dict = {}
-    for key in ("single_run", "single_run_flush"):
+    for key in ("single_run", "single_run_flush", "multicore_run"):
         row = record.get(key)
         if row:
             entry[key] = {
@@ -573,13 +758,16 @@ def _trajectory(path: Path) -> List[dict]:
 
 def digests_ok(record: dict) -> bool:
     """True when every fast-vs-reference comparison in ``record``
-    matched: both headline runs, the model matrix, and the
-    crash-recovery verdicts."""
-    for key in ("single_run", "single_run_flush"):
+    matched: the headline runs (digests, and for the multicore run the
+    conflict-path counters too), the model and multicore digest
+    matrices, and the crash-recovery verdicts."""
+    for key in ("single_run", "single_run_flush", "multicore_run"):
         row = record.get(key)
         if row and not row.get("digest_match"):
             return False
-    for matrix in ("digests", "crash_recovery"):
+        if row and not row.get("counters_match", True):
+            return False
+    for matrix in ("digests", "digests_multicore", "crash_recovery"):
         for row in (record.get(matrix) or {}).values():
             if not row.get("match"):
                 return False
@@ -588,32 +776,54 @@ def digests_ok(record: dict) -> bool:
 
 def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
               transactions: Optional[int] = None, profile: bool = False,
-              sweep: bool = True, workload: Optional[str] = None) -> dict:
+              sweep: bool = True, workload: Optional[str] = None,
+              only: Optional[str] = None) -> dict:
+    """Run the benchmark families and write the report.
+
+    ``only`` restricts the run to one headline family (``"single"``,
+    ``"flush"``, or ``"multicore"``) for CI smoke jobs; the full matrix,
+    crash-recovery, and sweep sections run only in the unrestricted
+    mode.  ``--check-digests`` still works in restricted modes --
+    :func:`digests_ok` checks whatever sections are present.
+    """
     single_txns = (transactions if transactions is not None
                    else _SINGLE_RUN_TRANSACTIONS)
     flush_txns = (transactions if transactions is not None
                   else _FLUSH_RUN_TRANSACTIONS)
+    multi_txns = (transactions if transactions is not None
+                  else _MULTI_RUN_TRANSACTIONS)
     path = Path(output)
-    record = {
+    record: dict = {
         "machine": {
             "cpu_count": os.cpu_count() or 1,
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
-        "single_run": run_single_bench(seed=seed, transactions=single_txns),
-        "single_run_flush": run_flush_bench(
+    }
+    if only in (None, "single"):
+        record["single_run"] = run_single_bench(
+            seed=seed, transactions=single_txns)
+    if only in (None, "flush"):
+        record["single_run_flush"] = run_flush_bench(
             seed=seed, transactions=flush_txns,
             benchmark=workload or _FLUSH_RUN_BENCHMARK,
-        ),
-        "digests": digest_matrix(seed=seed),
-        "crash_recovery": crash_recovery_matrix(seed=seed),
-        "trajectory": _trajectory(path),
-    }
-    if sweep:
+        )
+    if only in (None, "multicore"):
+        record["multicore_run"] = run_multicore_bench(
+            seed=seed, transactions=multi_txns)
+        record["digests_multicore"] = multicore_digest_matrix(seed=seed)
+    if only is None:
+        record["digests"] = digest_matrix(seed=seed)
+        record["crash_recovery"] = crash_recovery_matrix(seed=seed)
+    record["trajectory"] = _trajectory(path)
+    if sweep and only is None:
         record["sweep"] = run_sweep_bench(jobs=jobs, seed=seed)
     if profile:
-        run_profile(seed=seed, transactions=flush_txns, output=output,
-                    benchmark=workload or _FLUSH_RUN_BENCHMARK)
+        bench_name = workload or _FLUSH_RUN_BENCHMARK
+        prof_txns = (multi_txns if bench_name == _MULTI_RUN_BENCHMARK
+                     else flush_txns)
+        run_profile(seed=seed, transactions=prof_txns, output=output,
+                    benchmark=bench_name)
 
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"[bench] wrote {path}")
@@ -638,6 +848,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workload", default=None,
                         help="micro for the flush-bound run and --profile "
                              f"(default {_FLUSH_RUN_BENCHMARK})")
+    parser.add_argument("--only", choices=("single", "flush", "multicore"),
+                        default=None,
+                        help="run just one headline family (skips the "
+                             "matrix, crash-recovery, and sweep sections)")
     parser.add_argument("--check-digests", action="store_true",
                         help="exit nonzero unless every fast-vs-reference "
                              "digest and crash-recovery verdict matches")
@@ -646,7 +860,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
                        transactions=args.transactions, profile=args.profile,
-                       sweep=not args.no_sweep, workload=args.workload)
+                       sweep=not args.no_sweep, workload=args.workload,
+                       only=args.only)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1

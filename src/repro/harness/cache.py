@@ -45,7 +45,7 @@ from repro.sim.config import MachineConfig
 
 # Bump whenever a simulator change can alter run results; every cached
 # entry keyed under the old salt becomes unreachable.
-CODE_VERSION = "sweep-v3"
+CODE_VERSION = "sweep-v4"
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

@@ -50,6 +50,22 @@ class Mesh:
             [self.core_to_core(a, b) for b in range(cores)]
             for a in range(cores)
         ]
+        # Equidistance classes of the core->bank table: for each core,
+        # ``(latency, [banks])`` pairs in ascending latency, banks
+        # ascending within a class.  Broadcast-style handshakes (the
+        # flush protocol's FlushEpoch/BankAck legs) deliver to every
+        # bank of a class at one cycle, so each class can dispatch as a
+        # single batched fanout instead of one heap event per bank.
+        self.ack_groups: list[list[tuple[int, list[int]]]] = []
+        for c in range(cores):
+            by_lat: dict[int, list[int]] = {}
+            for b in range(banks):
+                by_lat.setdefault(self.c2b[c][b], []).append(b)
+            self.ack_groups.append(sorted(by_lat.items()))
+        # Worst-case core->bank latency per core: the broadcast cost of
+        # the flush handshake's FlushEpoch/PersistCMP legs, asked for
+        # once per epoch flush.
+        self._bcast = [max(row) for row in self.c2b]
 
     # ------------------------------------------------------------------
     # Geometry
@@ -114,8 +130,4 @@ class Mesh:
         Used by the epoch arbiter for FlushEpoch and PersistCMP messages
         (steps 1 and 4 of the Figure 8 handshake).
         """
-        src = self.tile_of_core(core_id)
-        return max(
-            self.latency(src, self.tile_of_bank(b))
-            for b in range(self._config.llc_banks)
-        )
+        return self._bcast[core_id]

@@ -18,10 +18,27 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.config import MachineConfig
     from repro.system import Multicore, RunResult
+
+
+def run_digest(config: "MachineConfig", programs: List[list]) -> str:
+    """Digest of one fresh run of ``programs`` on ``config``.
+
+    Convenience wrapper used by the digest matrices: builds a machine
+    with value and persist-order tracking enabled (so the digest covers
+    the full NVRAM image, not just the counters), runs it to
+    completion, and fingerprints the outcome.  Engine mode is whatever
+    ``REPRO_SLOW_ENGINE`` says at call time.
+    """
+    from repro.system import Multicore  # runtime import: cycle guard
+
+    machine = Multicore(config, track_values=True, track_persist_order=True)
+    result = machine.run(programs)
+    return state_digest(machine, result)
 
 
 def state_digest(machine: "Multicore", result: "RunResult") -> str:

@@ -38,7 +38,7 @@ from repro.core.undo_log import UndoLog
 from repro.cpu.processor import Core
 from repro.mem.address import AddressMap
 from repro.mem.cache import CacheEntry, SetAssociativeCache
-from repro.mem.coherence import Directory
+from repro.mem.coherence import Directory, ReferenceDirectory
 from repro.mem.interconnect import Mesh
 from repro.mem.nvram import MemoryController, NVRAMImage
 from repro.sim.config import MachineConfig, PersistencyModel
@@ -175,7 +175,12 @@ class Multicore:
             )
             for b in range(config.llc_banks)
         ]
-        self.directory = Directory()
+        # Fast mode uses the flat owner/sharer-bitmask directory; the
+        # reference mode keeps the seed's per-line-entry form as the
+        # executable specification (see mem/coherence.py).
+        self.directory = (
+            Directory() if self.engine.fast else ReferenceDirectory()
+        )
 
         self.managers: List[EpochManager] = []
         self.arbiters: List[Arbiter] = []
@@ -239,6 +244,19 @@ class Multicore:
             for core in range(config.num_cores)
         ]
         self._inline_depth = 0
+        # Per-line epoch tags (fast mode): line -> the epoch holding the
+        # *newest* unpersisted dirty version of the line, maintained on
+        # store (_tag_line) and persist (_untag_line).  Membership alone
+        # answers "does any window epoch hold an unpersisted version of
+        # this line?" in one dict probe -- the conflict guard of the
+        # fused store path.  At most two unpersisted versions of a line
+        # can coexist (the IDT case: the older one written back to the
+        # LLC, the newer in the requester's L1), and the older version
+        # always leaves the dirty domain first, so a single
+        # newest-pointer plus a sparse depth count is exact; audit()
+        # cross-checks the map against the window line sets.
+        self._epoch_tags: Dict[int, Epoch] = {}
+        self._tag_depth: Dict[int, int] = {}
         # Per-request accounting hoists (reference mode takes the
         # seed-faithful per-op path instead: f-string domain lookups and
         # a bump/record per request).  L1 hit counts, LLC access counts,
@@ -443,37 +461,50 @@ class Multicore:
             # version, foreign owners/sharers, or a dirty L1 victim fall
             # through to the general classifier.
             if not self._logging_on and (entry is None or not entry.dirty):
-                bank = (line >> self._bank_shift) % self._n_banks
-                llc_entry = self.llc_banks[bank].lookup(line)
-                llc_clean = llc_entry is None or not (
-                    llc_entry.dirty
-                    and llc_entry.epoch is not None
-                    and not llc_entry.epoch.persisted
-                )
-                if llc_clean and self.directory.exclusive_ok(line, core_id):
+                # The epoch-tag probe subsumes the seed's LLC-version
+                # check: a line absent from the tag map has no
+                # unpersisted dirty version anywhere (an unpersisted
+                # dirty copy in a foreign L1 would also fail
+                # exclusive_ok, and one in this core's own L1 was
+                # excluded by the dirty-hit branch above), so the store
+                # cannot conflict.  A tagged line falls through to the
+                # general classifier, which re-derives the source epoch
+                # from the cache entries.
+                if (
+                    line not in self._epoch_tags
+                    and self.directory.exclusive_ok(line, core_id)
+                ):
+                    bank = (line >> self._bank_shift) % self._n_banks
                     viable = entry is not None
                     if viable:
                         self.directory.set_owner(line, core_id)
-                    elif llc_entry is not None:
-                        # Same end state as _try_store -> _fill_l1 for
-                        # the clean-victim fill.
-                        filled = l1.clean_fill(line)
-                        if filled is not None:
-                            entry, victim_line = filled
-                            if self.track_values:
-                                if llc_entry.values is not None:
-                                    entry.values = dict(llc_entry.values)
-                                else:
-                                    stored = self.image.values.get(line)
-                                    entry.values = (dict(stored)
-                                                    if stored else {})
-                            self.directory.refill_owner(line, victim_line,
-                                                        core_id)
-                            viable = True
+                    else:
+                        llc_entry = self.llc_banks[bank].lookup(line)
+                        if llc_entry is not None:
+                            # Same end state as _try_store -> _fill_l1
+                            # for the clean-victim fill.
+                            filled = l1.clean_fill(line)
+                            if filled is not None:
+                                entry, victim_line = filled
+                                if self.track_values:
+                                    if llc_entry.values is not None:
+                                        entry.values = dict(
+                                            llc_entry.values)
+                                    else:
+                                        stored = self.image.values.get(
+                                            line)
+                                        entry.values = (dict(stored)
+                                                        if stored else {})
+                                self.directory.refill_owner(
+                                    line, victim_line, core_id)
+                                viable = True
                     if viable:
                         entry.dirty = True
                         entry.epoch = resolved
+                        # The guard proved no prior unpersisted version,
+                        # so the tag is a plain insert (no depth).
                         resolved.lines.add(line)
+                        self._epoch_tags[line] = resolved
                         resolved.all_lines.add(line)
                         if self.track_values and values:
                             if entry.values is None:
@@ -715,11 +746,9 @@ class Multicore:
                 llc_entry.epoch = None
 
         # Invalidate other sharers and take ownership.
-        dir_entry = self.directory.peek(line)
-        if dir_entry is not None:
-            for sharer in list(dir_entry.sharers):
-                if sharer != core_id:
-                    self.l1s[sharer].remove(line)
+        for sharer in self.directory.sharers_of(line):
+            if sharer != core_id:
+                self.l1s[sharer].remove(line)
 
         if entry is None:
             if llc_entry is not None:
@@ -761,7 +790,7 @@ class Multicore:
         if epoch is not None:
             entry.dirty = True
             entry.epoch = epoch
-            epoch.lines.add(line)
+            self._tag_line(epoch, line)
             epoch.all_lines.add(line)
         elif req.persist_sync or req.wt_async:
             # SP / write-through BSP: the value goes straight to NVRAM;
@@ -1074,6 +1103,54 @@ class Multicore:
             self._complete(req, delivery)
 
     # ------------------------------------------------------------------
+    # Per-line epoch tags
+    # ------------------------------------------------------------------
+    def _tag_line(self, epoch: Epoch, line: int) -> None:
+        """Add ``line`` to ``epoch``'s unpersisted set, tagging the line.
+
+        Every mutation of an ``Epoch.lines`` set goes through here or
+        :meth:`_untag_line` so the fast mode's tag map stays exact.  A
+        line already tagged by another epoch gains a depth count: the
+        IDT case where the older version was written back to the LLC
+        while the newer lives in the requester's L1.  The tag always
+        points at the newest version's epoch.
+        """
+        lines = epoch.lines
+        if line in lines:
+            return
+        lines.add(line)
+        if self._fast:
+            tags = self._epoch_tags
+            if line in tags:
+                self._tag_depth[line] = self._tag_depth.get(line, 1) + 1
+            tags[line] = epoch
+
+    def _untag_line(self, epoch: Epoch, line: int) -> bool:
+        """Remove ``line`` from ``epoch``'s unpersisted set.
+
+        Returns False (leaving the tag map untouched) when the epoch no
+        longer tracked the line -- the flush walker's "already in
+        flight" case.  With stacked versions only the depth drops: the
+        older version always leaves the dirty domain first (its flush is
+        what the newer version's IDT edge waits for; evictions and
+        writeback collisions are gated the same way), so the tag keeps
+        pointing at the newest epoch and never needs a rescan.
+        """
+        lines = epoch.lines
+        if line not in lines:
+            return False
+        lines.remove(line)
+        if self._fast:
+            depth = self._tag_depth.get(line)
+            if depth is None:
+                del self._epoch_tags[line]
+            elif depth == 2:
+                del self._tag_depth[line]
+            else:
+                self._tag_depth[line] = depth - 1
+        return True
+
+    # ------------------------------------------------------------------
     # Persistence primitives
     # ------------------------------------------------------------------
     def line_in_l1(self, core_id: int, line: int, epoch: Epoch) -> bool:
@@ -1116,12 +1193,11 @@ class Multicore:
             if from_l1_core is not None:
                 self.l1s[from_l1_core].remove(line)
             self.llc_banks[self.amap.bank_of(line)].remove(line)
-            dir_entry = self.directory.peek(line)
-            if dir_entry is not None:
-                for sharer in list(dir_entry.sharers):
-                    self.l1s[sharer].remove(line)
-                if dir_entry.owner is not None:
-                    self.l1s[dir_entry.owner].remove(line)
+            for sharer in self.directory.sharers_of(line):
+                self.l1s[sharer].remove(line)
+            owner = self.directory.owner_of(line)
+            if owner is not None:
+                self.l1s[owner].remove(line)
             self.directory.drop_line(line)
         else:
             # clwb semantics: the copy stays cached, now clean.
@@ -1157,7 +1233,7 @@ class Multicore:
         """
         line = entry.line
         if epoch is not None:
-            epoch.lines.discard(line)
+            self._untag_line(epoch, line)
             epoch.inflight_writes += 1
             core_id, seq = epoch.core_id, epoch.seq
         else:
@@ -1403,3 +1479,38 @@ class Multicore:
                             f"LLC dirty 0x{entry.line:x} missing from "
                             f"{entry.epoch}"
                         )
+        if self._fast:
+            # The epoch-tag map must be exactly the union of the window
+            # epochs' line sets, with the depth dict matching every
+            # line's version multiplicity and each tag naming an epoch
+            # that actually holds the line.
+            counts: Dict[int, int] = {}
+            holders: Dict[int, List[Epoch]] = {}
+            for mgr in self.managers:
+                for epoch in mgr.window:
+                    for line in epoch.lines:
+                        counts[line] = counts.get(line, 0) + 1
+                        holders.setdefault(line, []).append(epoch)
+            if counts.keys() != self._epoch_tags.keys():
+                stale = self._epoch_tags.keys() - counts.keys()
+                missing = counts.keys() - self._epoch_tags.keys()
+                raise AssertionError(
+                    f"epoch-tag map out of sync: stale="
+                    f"{[hex(l) for l in stale]} missing="
+                    f"{[hex(l) for l in missing]}"
+                )
+            for line, n in counts.items():
+                if self._epoch_tags[line] not in holders[line]:
+                    raise AssertionError(
+                        f"tag for 0x{line:x} names an epoch not holding it"
+                    )
+                depth = self._tag_depth.get(line)
+                if (depth or 1) != n:
+                    raise AssertionError(
+                        f"0x{line:x} has {n} versions but depth {depth}"
+                    )
+            for line in self._tag_depth:
+                if line not in counts:
+                    raise AssertionError(
+                        f"stale depth entry for 0x{line:x}"
+                    )

@@ -16,12 +16,14 @@ sdg        insert/delete edges in a scalable directed graph
 sps        random swaps between entries in an array
 =========  =====================================================
 
-The package also registers two simulator benchmarks that are not part
+The package also registers three simulator benchmarks that are not part
 of Table 2: ``hotset``, a cache-resident read-mostly loop used by the
-single-run engine benchmark (:mod:`repro.workloads.micro.hotset`), and
+single-run engine benchmark (:mod:`repro.workloads.micro.hotset`);
 ``flushbound``, a streaming miss-heavy loop with a barrier per
 transaction used by the flush-path benchmark
-(:mod:`repro.workloads.micro.flushbound`).
+(:mod:`repro.workloads.micro.flushbound`); and ``pingpong``, contended
+producer/consumer pairs used by the multicore conflict-path benchmark
+(:mod:`repro.workloads.micro.pingpong`).
 """
 
 from repro.workloads.micro.common import (
@@ -33,6 +35,7 @@ from repro.workloads.micro.common import (
 from repro.workloads.micro.flushbound import FlushBoundWorkload
 from repro.workloads.micro.hashtable import HashTableWorkload
 from repro.workloads.micro.hotset import HotSetWorkload
+from repro.workloads.micro.pingpong import PingPongWorkload
 from repro.workloads.micro.queue import QueueWorkload
 from repro.workloads.micro.rbtree import RBTreeWorkload
 from repro.workloads.micro.sdg import SDGWorkload
@@ -45,6 +48,7 @@ __all__ = [
     "HotSetWorkload",
     "MICROBENCHMARKS",
     "MicroBenchmark",
+    "PingPongWorkload",
     "QueueWorkload",
     "RBTreeWorkload",
     "SDGWorkload",

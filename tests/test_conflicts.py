@@ -160,3 +160,24 @@ def test_conflict_epoch_percentage_counts_conflict_flushes():
         p.store(0x1000, 8).store(0x2000 + i * 64, 8).barrier()
     result = m.run([p])
     assert result.conflict_epoch_pct > 50
+
+
+def test_split_prefix_becomes_idt_source_and_state_stays_sane():
+    """Section 3.3 end to end: a store into a still-ongoing remote epoch
+    splits it, the IDT edge lands on the completed prefix (the conflict
+    is absorbed without a stall), and every manager's window invariants
+    hold afterwards."""
+    m = machine(BarrierDesign.LB_IDT)
+    p0 = Program().store(0x1000, 8).compute(5000).store(0x3000, 8).barrier()
+    p1 = Program().compute(2000).store(0x1000, 8).store(0x5000, 8).barrier()
+    result = m.run([p0, p1])
+    assert result.finished
+    assert result.stats.total("epoch_splits") == 1
+    conflicts = result.stats.domain("conflicts")
+    # Every inter-thread conflict is absorbed by IDT: no online stall.
+    assert conflicts.get("inter_thread") == 2
+    assert conflicts.get("idt_tracked") == 2
+    assert conflicts.get("online_flush_stalls") == 0
+    # The repeat conflict against the same source dedups to one edge.
+    assert result.stats.domain("idt").get("idt_edges") == 1
+    m.audit()

@@ -12,11 +12,15 @@ persistency model both ways and assert:
 
 import pytest
 
-from repro.harness.bench import reference_mode
+from repro.harness.bench import (
+    _multicore_setup,
+    conflict_counters,
+    reference_mode,
+)
 from repro.recovery.checker import ConsistencyViolation, check_epoch_order
 from repro.recovery.crash import run_with_crash
 from repro.sim.config import BarrierDesign, MachineConfig, PersistencyModel
-from repro.sim.digest import state_digest
+from repro.sim.digest import run_digest, state_digest
 from repro.system import Multicore
 from repro.workloads.micro import make_benchmark
 
@@ -92,6 +96,62 @@ def test_crash_verdict_matches_reference_engine(model):
         # The epoch models must actually pass the ordering check, not
         # merely agree on a verdict.
         assert fast[0] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Multicore conflict-path matrix: contended pingpong at 4 and 8 cores,
+# with (LB++) and without (LB) inter-thread dependence tracking.  This
+# is the regime where the directory fast path, the per-line epoch-tag
+# probe, IDT edge interning, and the deadlock-avoiding split path all
+# fire; the digests prove the fast formulations are observationally
+# identical to the reference walk.
+# ----------------------------------------------------------------------
+MULTICORE_CONFIGS = [
+    (4, BarrierDesign.LB),
+    (4, BarrierDesign.LB_PP),
+    (8, BarrierDesign.LB),
+    (8, BarrierDesign.LB_PP),
+]
+
+_MULTI_TXNS = 25
+
+
+@pytest.mark.parametrize(
+    "cores,design", MULTICORE_CONFIGS,
+    ids=[f"{c}c-{d.value}" for c, d in MULTICORE_CONFIGS],
+)
+def test_multicore_digest_matches_reference_engine(cores, design):
+    config, programs = _multicore_setup(
+        seed=3, transactions=_MULTI_TXNS,
+        num_cores=cores, barrier_design=design,
+    )
+    fast = run_digest(config, programs)
+    with reference_mode():
+        ref = run_digest(config, programs)
+    assert fast == ref
+
+
+def test_multicore_conflict_counters_match_reference_engine():
+    """Paper-semantics parity on the contended run.
+
+    The digest already covers the full stats dump; this spells out the
+    headline claim -- the fast conflict path neither loses nor invents
+    inter-thread conflicts, IDT edges, or epoch splits -- and pins that
+    the workload actually exercises all three.
+    """
+    config, programs = _multicore_setup(seed=3, transactions=_MULTI_TXNS)
+
+    def counters(slow):
+        with reference_mode(slow):
+            machine = Multicore(config)
+            result = machine.run(programs)
+        return conflict_counters(result.stats)
+
+    fast = counters(False)
+    assert fast == counters(True)
+    assert fast["inter_thread"] > 0
+    assert fast["idt_edges"] > 0
+    assert fast["epoch_splits"] > 0
 
 
 def test_digest_sensitive_to_run_shape():

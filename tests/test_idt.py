@@ -124,3 +124,52 @@ def test_overflow_restores_superseded_edge():
 def test_register_count_validation():
     with pytest.raises(ValueError):
         IDTracker(0, StatDomain("idt"))
+
+
+# ----------------------------------------------------------------------
+# Deadlock avoidance (section 3.3): an edge wanted on a still-ongoing
+# source must split the source first, so the dependence lands on a
+# completed prefix and the graph stays acyclic.
+# ----------------------------------------------------------------------
+def test_edge_on_ongoing_source_lands_on_split_prefix():
+    managers, tracker = make_world()
+    src_mgr = managers[0]
+    ongoing = src_mgr.tag_store()
+    src_mgr.store_drained(ongoing)  # drained but never closed: ongoing
+    assert ongoing.ongoing
+
+    prefix = src_mgr.split_epoch(ongoing)
+    assert prefix is ongoing
+    assert prefix.complete  # the prefix is immediately completable
+
+    dep = managers[1].current_or_new()
+    assert tracker.try_record(prefix, dep)
+    assert prefix in dep.idt_sources
+    assert dep in prefix.idt_dependents
+
+    remainder = src_mgr.current
+    assert remainder is not None and remainder.ongoing
+    assert remainder.split_from == prefix.seq
+    src_mgr.audit()
+    managers[1].audit()
+
+
+def test_split_prefix_persists_while_remainder_runs():
+    """The acyclicity payoff: the prefix carrying the IDT edge can
+    persist (releasing the dependent) while the remainder epoch is
+    still accumulating stores."""
+    managers, tracker = make_world()
+    src_mgr = managers[0]
+    ongoing = src_mgr.tag_store()
+    src_mgr.store_drained(ongoing)
+    prefix = src_mgr.split_epoch(ongoing)
+
+    dep = managers[1].current_or_new()
+    assert tracker.try_record(prefix, dep)
+
+    assert src_mgr.deps_persisted(prefix)  # window head, no sources
+    src_mgr.mark_persisted(prefix)
+    assert prefix.persisted
+    assert dep.idt_sources == set()  # edge cleared on persist
+    assert src_mgr.current is not None and src_mgr.current.ongoing
+    src_mgr.audit()

@@ -20,7 +20,7 @@ ALL_NAMES = ["hash", "queue", "rbtree", "sdg", "sps"]
 
 # Simulator-only workloads: registered with the factory but not part of
 # Table 2 (and so excluded from the paper's figure sweeps).
-EXTRA_NAMES = ["flushbound", "hotset"]
+EXTRA_NAMES = ["flushbound", "hotset", "pingpong"]
 
 
 def test_registry_matches_table2():
