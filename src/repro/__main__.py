@@ -11,6 +11,9 @@ Subcommands:
   cache and write ``BENCH_sweep.json``.
 * ``crash``   -- crash a workload at a given cycle, check consistency,
   and (for BSP) perform undo-log recovery.
+* ``crashsweep`` -- run a workload once, capture its persist history,
+  and validate the recovery invariants at *every* crash point (with an
+  optional injected reorder fault as a checker self-test).
 * ``inspect`` -- print the machine configuration at each scale.
 
 Examples::
@@ -20,6 +23,8 @@ Examples::
     python -m repro figures fig11 fig12 --scale tiny --jobs 4
     python -m repro bench --jobs 4
     python -m repro crash --workload queue --cycle 20000
+    python -m repro crashsweep --workload pingpong --transactions 10
+    python -m repro crashsweep --reorder-window 6 --expect-violation
     python -m repro inspect --scale paper
 """
 
@@ -183,6 +188,59 @@ def cmd_crash(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_crashsweep(args: argparse.Namespace) -> int:
+    """Capture one run and validate every crash point of its history."""
+    from repro.harness.bench import _multicore_setup
+    from repro.recovery import capture_run, sweep_crash_points
+    from repro.sim.faults import FaultConfig
+    from repro.workloads.micro import make_benchmark
+
+    design = _DESIGNS[args.design]
+    faults = (FaultConfig(reorder_window=args.reorder_window)
+              if args.reorder_window else None)
+    queues: list = []
+    if args.workload == "pingpong":
+        config, programs = _multicore_setup(
+            args.seed, args.transactions, barrier_design=design)
+    elif args.workload in MICROBENCHMARKS:
+        config = MachineConfig.tiny(
+            barrier_design=design, persistency=PersistencyModel.BEP,
+        )
+        bench = make_benchmark(args.workload, thread_id=0, seed=args.seed,
+                               line_size=config.line_size)
+        programs = [list(bench.ops(args.transactions))]
+        if args.workload == "queue":
+            queues = [bench]
+    else:
+        print(f"unknown workload {args.workload!r}; choose from "
+              f"{sorted(MICROBENCHMARKS)}", file=sys.stderr)
+        return 2
+    machine = Multicore(config, track_values=True, track_persist_order=True,
+                        keep_epoch_log=True, faults=faults)
+    outcome = capture_run(machine, programs)
+    report = sweep_crash_points(outcome, queues=queues,
+                                raise_on_violation=False)
+    print(f"== crashsweep {args.workload} / {design.value} "
+          f"({config.num_cores} core(s), {args.transactions} txns"
+          f"{', reorder fault' if faults else ''}) ==")
+    print(f"persist history  : {report.history_len} records")
+    print(f"crash points     : {report.points} "
+          f"({report.data_persists} epoch-tagged persists, "
+          f"{report.queue_checks} queue re-checks)")
+    if report.ok:
+        print("verdict          : consistent at every crash point")
+    else:
+        print(f"verdict          : VIOLATION at point "
+              f"{report.first_violation}: {report.violation}")
+    if args.expect_violation:
+        if report.ok:
+            print("error: expected the sweep to flag a violation "
+                  "(checker self-test failed)", file=sys.stderr)
+            return 1
+        return 0
+    return 0 if report.ok else 1
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     builders = {
         "tiny": MachineConfig.tiny,
@@ -245,10 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--workload", default=None,
                          help="micro for the flush-bound run and --profile "
                               "(default flushbound)")
-    bench_p.add_argument("--only", choices=("single", "flush", "multicore"),
+    bench_p.add_argument("--only",
+                         choices=("single", "flush", "multicore", "crash"),
                          default=None,
-                         help="run just one headline family (skips the "
-                              "matrix, crash-recovery, and sweep sections)")
+                         help="run just one bench family (skips the "
+                              "matrix, crash-recovery, and sweep sections; "
+                              "'crash' runs the exhaustive crash-point "
+                              "sweeps and fault-injection checks)")
     bench_p.add_argument("--check-digests", action="store_true",
                          help="exit nonzero unless every fast-vs-reference "
                               "digest and crash-recovery verdict matches")
@@ -262,6 +323,23 @@ def build_parser() -> argparse.ArgumentParser:
     crash_p.add_argument("--seed", type=int, default=1)
     crash_p.add_argument("--epoch-stores", type=int, default=100)
     crash_p.set_defaults(func=cmd_crash)
+
+    sweep_p = sub.add_parser(
+        "crashsweep",
+        help="validate every crash point of one captured run",
+    )
+    sweep_p.add_argument("--workload", default="queue",
+                         help="a microbenchmark; 'pingpong' uses the "
+                              "contended 4-core configuration")
+    sweep_p.add_argument("--design", default="LB++", choices=_DESIGNS)
+    sweep_p.add_argument("--transactions", type=int, default=15)
+    sweep_p.add_argument("--seed", type=int, default=1)
+    sweep_p.add_argument("--reorder-window", type=int, default=0,
+                         help="enable the unsound reorder-persists fault "
+                              "with this window (checker self-test)")
+    sweep_p.add_argument("--expect-violation", action="store_true",
+                         help="exit 0 only if the sweep flags a violation")
+    sweep_p.set_defaults(func=cmd_crashsweep)
 
     inspect_p = sub.add_parser("inspect", help="print a machine config")
     inspect_p.add_argument("--scale", default="small",

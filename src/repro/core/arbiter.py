@@ -45,13 +45,55 @@ class Arbiter:
         # The flush-handshake engine is pooled: one reusable operation
         # per arbiter, begun per epoch.  ``active`` points at it while a
         # flush is in flight.
-        self._flush_op = FlushOperation(machine, self._flush_done)
+        self._flush_op = FlushOperation(machine, self._flush_done,
+                                        arbiter=self)
         self.active: Optional[FlushOperation] = None
         # Reusable strand-seen scratch set for the pump's candidate walk
         # (the pump runs after every flush completion and unblock event,
         # and iterates a window of up to eight epochs each time).
         self._seen: set = set()
         self._fast = machine.engine.fast
+        # Fault-injection accounting for the BankAck retry path (only
+        # bumped when faults are enabled): drops observed, timeouts that
+        # resent, and acks that took a detour.  Hot-counter idiom: plain
+        # attributes in fast mode, merged by flush_hot_stats().
+        self._n_ack_drops = 0
+        self._n_ack_retries = 0
+        self._n_ack_delays = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection accounting (called by the flush operation)
+    # ------------------------------------------------------------------
+    def note_ack_drop(self) -> None:
+        if self._fast:
+            self._n_ack_drops += 1
+        else:
+            self._stats.bump("flush_ack_drops")
+
+    def note_ack_retry(self) -> None:
+        if self._fast:
+            self._n_ack_retries += 1
+        else:
+            self._stats.bump("flush_ack_retries")
+
+    def note_ack_delay(self) -> None:
+        if self._fast:
+            self._n_ack_delays += 1
+        else:
+            self._stats.bump("flush_ack_delays")
+
+    def flush_hot_stats(self) -> None:
+        """Merge the attribute-held ack-fault counters into the stat
+        domain (idempotent; the machine calls this at run end)."""
+        if self._n_ack_drops:
+            self._stats.bump("flush_ack_drops", self._n_ack_drops)
+            self._n_ack_drops = 0
+        if self._n_ack_retries:
+            self._stats.bump("flush_ack_retries", self._n_ack_retries)
+            self._n_ack_retries = 0
+        if self._n_ack_delays:
+            self._stats.bump("flush_ack_delays", self._n_ack_delays)
+            self._n_ack_delays = 0
 
     # ------------------------------------------------------------------
     # Requests

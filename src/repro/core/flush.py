@@ -65,6 +65,15 @@ _ACK_SENT = 3
 _ACKED = 4
 
 
+class ProtocolError(RuntimeError):
+    """The flush handshake's state machine was violated.
+
+    Raised when a bank acks twice, or when an ack-retry timeout fires
+    for a bank that is no longer waiting -- both indicate a simulator
+    bug (or a fault-injection hole), never a legal protocol state.
+    """
+
+
 class FlushOperation:
     """The flush-handshake engine of one arbiter (pooled, reusable).
 
@@ -78,12 +87,14 @@ class FlushOperation:
         "_stats", "_ideal", "_invalidate", "_num_banks", "_epoch",
         "_bank_outstanding", "_bank_state", "_bank_sched", "_bank_pos",
         "_bank_cbs", "_acks_received", "_line_shift", "_n_mcs",
+        "_faults", "_arbiter",
     )
 
     def __init__(
         self,
         machine: "Multicore",
         on_done: Callable[[Epoch], None],
+        arbiter=None,
     ) -> None:
         self._machine = machine
         self._on_done = on_done
@@ -92,6 +103,11 @@ class FlushOperation:
         self._mesh = machine.mesh
         self._amap = machine.amap
         self._stats = machine.stats.domain("flush")
+        # Fault injection (sim/faults.py): BankAck drops and detours.
+        # ``arbiter`` owns the retry/drop/delay counters; it is None
+        # only for standalone test construction, where faults are off.
+        self._faults = getattr(machine, "faults", None)
+        self._arbiter = arbiter
         self._ideal = self._config.ideal_flush_coordination
         self._invalidate = self._config.flush_mode is FlushMode.CLFLUSH
         n = self._config.llc_banks
@@ -415,11 +431,61 @@ class FlushOperation:
             delay = 0
         else:
             delay = self._mesh.c2b[self._epoch.core_id][bank]
+        if self._faults is not None:
+            self._send_bank_ack(bank, delay, 0)
+            return
         self._engine.schedule_call(delay, self._bank_ack, bank)
+
+    def _send_bank_ack(self, bank: int, delay: int, attempt: int) -> None:
+        """Fault-aware BankAck transmission with bounded retry.
+
+        A dropped ack arms a timeout at the nominal delivery time plus
+        ``ack_timeout``; the timeout resends with the attempt counter
+        bumped.  The injector guarantees the attempt at the retry bound
+        is delivered, so the chain is finite.  At most one transmission
+        or timeout per bank is ever outstanding (the _ACK_SENT guard in
+        :meth:`_schedule_bank_ack` serialises the chain), which is what
+        lets :meth:`_ack_timeout` treat any other state as a
+        :class:`ProtocolError`.
+        """
+        faults = self._faults
+        epoch = self._epoch
+        core = epoch.core_id
+        seq = epoch.seq
+        if faults.drop_bank_ack(core, bank, seq, attempt):
+            if self._arbiter is not None:
+                self._arbiter.note_ack_drop()
+            self._engine.schedule_call(
+                delay + faults.config.ack_timeout,
+                self._ack_timeout, bank, attempt,
+            )
+            return
+        detour = faults.bank_ack_detour(core, bank, seq, attempt)
+        if detour:
+            if self._arbiter is not None:
+                self._arbiter.note_ack_delay()
+            delay += self._mesh.detour_latency(detour)
+        self._engine.schedule_call(delay, self._bank_ack, bank)
+
+    def _ack_timeout(self, bank: int, attempt: int) -> None:
+        """The bank concluded its BankAck was lost; resend it."""
+        if self._epoch is None or self._bank_state[bank] != _ACK_SENT:
+            raise ProtocolError(
+                f"ack-retry timeout for bank {bank} fired outside its "
+                f"flush (state {self._bank_state[bank]}, "
+                f"epoch {self._epoch})"
+            )
+        if self._arbiter is not None:
+            self._arbiter.note_ack_retry()
+        if self._ideal:
+            delay = 0
+        else:
+            delay = self._mesh.c2b[self._epoch.core_id][bank]
+        self._send_bank_ack(bank, delay, attempt + 1)
 
     def _bank_ack(self, bank: int) -> None:
         if self._bank_state[bank] == _ACKED:
-            raise RuntimeError(
+            raise ProtocolError(
                 f"bank {bank} sent a second BankAck for {self._epoch}"
             )
         self._bank_state[bank] = _ACKED

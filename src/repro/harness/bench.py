@@ -595,6 +595,232 @@ def crash_recovery_matrix(seed: int = 1) -> Dict[str, dict]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# Exhaustive crash-point sweep benchmark (``--only crash``)
+# ----------------------------------------------------------------------
+# Transactions per scenario: sized so the captured histories stay in the
+# hundreds-to-low-thousands of persists -- every truncation point is
+# still validated (both incrementally and by the truncate-and-recheck
+# oracle) in seconds.
+_SWEEP_QUEUE_TRANSACTIONS = 15
+_SWEEP_MULTI_TRANSACTIONS = 12
+_SWEEP_FAULT_TRANSACTIONS = 8
+
+
+def _sweep_scenarios(seed: int) -> List[tuple]:
+    """(name, build) pairs for the sweep matrix.
+
+    ``build()`` returns ``(config, programs, queues, bsp)``.  The queue
+    semantic check applies only under BEP: BSP's atomicity is *via the
+    undo log* -- a torn epoch may durably advance the head cursor before
+    the entry, relying on rollback -- so the BSP scenario checks undo
+    coverage instead.
+    """
+    def queue_bep():
+        config = MachineConfig.tiny(
+            persistency=PersistencyModel.BEP,
+            barrier_design=BarrierDesign.LB_PP,
+        )
+        queue = make_benchmark("queue", thread_id=0, seed=seed,
+                               line_size=config.line_size)
+        return (config, [list(queue.ops(_SWEEP_QUEUE_TRANSACTIONS))],
+                [queue], False)
+
+    def queue_bsp():
+        config = MachineConfig.tiny(
+            persistency=PersistencyModel.BSP,
+            barrier_design=BarrierDesign.LB_PP,
+            bsp_epoch_stores=30,
+        )
+        queue = make_benchmark("queue", thread_id=0, seed=seed,
+                               line_size=config.line_size)
+        return (config, [list(queue.ops(_SWEEP_QUEUE_TRANSACTIONS))],
+                [], True)
+
+    def flushbound():
+        config, programs = _single_run_setup(
+            seed, _SWEEP_QUEUE_TRANSACTIONS,
+            benchmark=_FLUSH_RUN_BENCHMARK, num_cores=1,
+            barrier_design=BarrierDesign.LB_PP,
+        )
+        return (config, programs, [], False)
+
+    def pingpong(design):
+        config, programs = _multicore_setup(
+            seed, _SWEEP_MULTI_TRANSACTIONS, barrier_design=design)
+        return (config, programs, [], False)
+
+    return [
+        ("queue_bep", queue_bep),
+        ("queue_bsp", queue_bsp),
+        ("flushbound_bep", flushbound),
+        ("pingpong4_lb", lambda: pingpong(BarrierDesign.LB)),
+        ("pingpong4_lbpp", lambda: pingpong(BarrierDesign.LB_PP)),
+    ]
+
+
+def _sweep_once(build) -> dict:
+    """Capture one run, sweep it incrementally, and cross-check the
+    verdict against the truncate-and-recheck oracle at stride 1."""
+    from repro.recovery import (
+        capture_run,
+        sweep_crash_points,
+        sweep_reference,
+    )
+
+    config, programs, queues, bsp = build()
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True)
+    outcome = capture_run(machine, programs)
+    start = time.perf_counter()
+    fast = sweep_crash_points(outcome, queues=queues, bsp=bsp,
+                              raise_on_violation=False)
+    sweep_s = time.perf_counter() - start
+    start = time.perf_counter()
+    oracle = sweep_reference(outcome, queues=queues, bsp=bsp, stride=1,
+                             raise_on_violation=False)
+    oracle_s = time.perf_counter() - start
+    digest = hashlib.sha256()
+    for line, value in sorted(outcome.image.values.items()):
+        digest.update(f"{line:x}={value!r};".encode())
+    return {
+        "verdict": {
+            "points": fast.points,
+            "history_len": fast.history_len,
+            "data_persists": fast.data_persists,
+            "queue_checks": fast.queue_checks,
+            "bsp_checked": fast.bsp_checked,
+            "ok": fast.ok,
+            "first_violation": fast.first_violation,
+            "oracle_match": (fast.merge_key() == oracle.merge_key()
+                             and fast.data_persists
+                             == oracle.data_persists),
+            "image": digest.hexdigest()[:16],
+        },
+        "wall_seconds": {
+            "incremental": round(sweep_s, 4),
+            "oracle": round(oracle_s, 4),
+        },
+    }
+
+
+def _fault_run(seed: int, fault_config) -> dict:
+    """One faulted pingpong run: completion, counters, state digest."""
+    config, programs = _multicore_setup(seed, _SWEEP_FAULT_TRANSACTIONS)
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, faults=fault_config)
+    result = machine.run(programs)
+    return {
+        "finished": result.finished,
+        "digest": state_digest(machine, result),
+        "ack_drops": int(result.stats.total("flush_ack_drops")),
+        "ack_retries": int(result.stats.total("flush_ack_retries")),
+        "ack_delays": int(result.stats.total("flush_ack_delays")),
+        "mc_stalls": int(result.stats.total("fault_stalls")),
+        "mc_stall_cycles": int(result.stats.total("fault_stall_cycles")),
+    }
+
+
+def _reorder_selftest(seed: int) -> dict:
+    """The checker self-test: a reorder-persists fault must make the
+    sweep raise."""
+    from repro.recovery import capture_run, sweep_crash_points
+    from repro.sim.faults import FaultConfig
+
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    queue = make_benchmark("queue", thread_id=0, seed=seed,
+                           line_size=config.line_size)
+    machine = Multicore(config, track_values=True,
+                        track_persist_order=True, keep_epoch_log=True,
+                        faults=FaultConfig(reorder_window=6))
+    outcome = capture_run(machine,
+                          [list(queue.ops(_SWEEP_QUEUE_TRANSACTIONS))])
+    report = sweep_crash_points(outcome, queues=[queue],
+                                raise_on_violation=False)
+    return {
+        "raised": not report.ok,
+        "first_violation": report.first_violation,
+        "history_len": report.history_len,
+    }
+
+
+def run_crash_sweep_bench(seed: int = 1) -> dict:
+    """The ``--only crash`` section: exhaustive sweeps fast vs
+    reference engine, the reorder-fault self-test, and faulted runs
+    exercising the BankAck retry/timeout path.
+
+    Every scenario is captured and swept under both engine modes; the
+    verdicts (and the incremental-vs-oracle cross-check inside each)
+    must agree exactly.  The faulted runs must *complete* -- the retry
+    path bounds every dropped ack -- with identical state digests
+    across modes and nonzero retry counters in the report.
+    """
+    from repro.sim.faults import FaultConfig
+
+    sweeps: Dict[str, dict] = {}
+    for name, build in _sweep_scenarios(seed):
+        fast = _sweep_once(build)
+        with reference_mode():
+            ref = _sweep_once(build)
+        sweeps[name] = {
+            "fast": fast["verdict"],
+            "reference": ref["verdict"],
+            "wall_seconds": fast["wall_seconds"],
+            "match": (fast["verdict"] == ref["verdict"]
+                      and fast["verdict"]["ok"]
+                      and fast["verdict"]["oracle_match"]),
+        }
+    matched = sum(r["match"] for r in sweeps.values())
+    total_points = sum(
+        r["fast"]["points"] for r in sweeps.values()
+    )
+    print(f"[bench] crash sweeps: {matched}/{len(sweeps)} scenarios "
+          f"accept all {total_points} truncation points in both modes")
+
+    selftest_fast = _reorder_selftest(seed)
+    with reference_mode():
+        selftest_ref = _reorder_selftest(seed)
+    selftest = {
+        "fast": selftest_fast,
+        "reference": selftest_ref,
+        "match": selftest_fast == selftest_ref and selftest_fast["raised"],
+    }
+    print(f"[bench] reorder-fault self-test: "
+          f"{'caught' if selftest['match'] else 'MISSED'} at point "
+          f"{selftest_fast['first_violation']}")
+
+    fault_config = FaultConfig(
+        seed=seed, drop_ack_rate=0.3, delay_ack_rate=0.2,
+        mc_stall_rate=0.1,
+    )
+    fault_fast = _fault_run(seed, fault_config)
+    with reference_mode():
+        fault_ref = _fault_run(seed, fault_config)
+    faults = {
+        "config": {
+            "drop_ack_rate": fault_config.drop_ack_rate,
+            "delay_ack_rate": fault_config.delay_ack_rate,
+            "mc_stall_rate": fault_config.mc_stall_rate,
+        },
+        "fast": fault_fast,
+        "reference": fault_ref,
+        "match": (fault_fast == fault_ref and fault_fast["finished"]
+                  and fault_fast["ack_retries"] > 0),
+    }
+    print(f"[bench] faulted pingpong: finished={fault_fast['finished']}, "
+          f"{fault_fast['ack_drops']} drops / "
+          f"{fault_fast['ack_retries']} retries / "
+          f"{fault_fast['ack_delays']} delays / "
+          f"{fault_fast['mc_stalls']} MC stalls, digest "
+          f"{'match' if fault_fast['digest'] == fault_ref['digest'] else 'MISMATCH'}")
+
+    return {"sweeps": sweeps, "reorder_selftest": selftest,
+            "faults": faults}
+
+
 def run_profile(seed: int = 1,
                 transactions: int = _SINGLE_RUN_TRANSACTIONS,
                 output: str = DEFAULT_OUTPUT, top: int = 30,
@@ -771,6 +997,15 @@ def digests_ok(record: dict) -> bool:
         for row in (record.get(matrix) or {}).values():
             if not row.get("match"):
                 return False
+    crash_sweep = record.get("crash_sweep")
+    if crash_sweep:
+        for row in (crash_sweep.get("sweeps") or {}).values():
+            if not row.get("match"):
+                return False
+        for key in ("reorder_selftest", "faults"):
+            row = crash_sweep.get(key)
+            if row and not row.get("match"):
+                return False
     return True
 
 
@@ -780,10 +1015,11 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
               only: Optional[str] = None) -> dict:
     """Run the benchmark families and write the report.
 
-    ``only`` restricts the run to one headline family (``"single"``,
-    ``"flush"``, or ``"multicore"``) for CI smoke jobs; the full matrix,
-    crash-recovery, and sweep sections run only in the unrestricted
-    mode.  ``--check-digests`` still works in restricted modes --
+    ``only`` restricts the run to one bench family (``"single"``,
+    ``"flush"``, ``"multicore"``, or ``"crash"`` -- the exhaustive
+    crash-point sweeps plus fault injection) for CI smoke jobs; the
+    full matrix, crash-recovery, and sweep-executor sections run only
+    in the unrestricted mode.  ``--check-digests`` still works in restricted modes --
     :func:`digests_ok` checks whatever sections are present.
     """
     single_txns = (transactions if transactions is not None
@@ -812,6 +1048,8 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
         record["multicore_run"] = run_multicore_bench(
             seed=seed, transactions=multi_txns)
         record["digests_multicore"] = multicore_digest_matrix(seed=seed)
+    if only in (None, "crash"):
+        record["crash_sweep"] = run_crash_sweep_bench(seed=seed)
     if only is None:
         record["digests"] = digest_matrix(seed=seed)
         record["crash_recovery"] = crash_recovery_matrix(seed=seed)
@@ -848,10 +1086,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--workload", default=None,
                         help="micro for the flush-bound run and --profile "
                              f"(default {_FLUSH_RUN_BENCHMARK})")
-    parser.add_argument("--only", choices=("single", "flush", "multicore"),
+    parser.add_argument("--only",
+                        choices=("single", "flush", "multicore", "crash"),
                         default=None,
-                        help="run just one headline family (skips the "
-                             "matrix, crash-recovery, and sweep sections)")
+                        help="run just one bench family (skips the "
+                             "matrix, crash-recovery, and sweep sections; "
+                             "'crash' runs the exhaustive crash-point "
+                             "sweeps and fault-injection checks)")
     parser.add_argument("--check-digests", action="store_true",
                         help="exit nonzero unless every fast-vs-reference "
                              "digest and crash-recovery verdict matches")

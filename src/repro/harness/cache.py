@@ -27,6 +27,10 @@ History:
   event order is digest-identical but the IDT strand-subsumption fix
   changes flush order (and therefore stall/conflict stats) for
   stranded workloads.
+* ``sweep-v5`` -- fault injection wired through the flush handshake
+  and memory controllers (new arbiter/controller counters even when
+  disabled), plus replayable persist-history payloads on the tracked
+  image.
 """
 
 from __future__ import annotations
@@ -45,7 +49,7 @@ from repro.sim.config import MachineConfig
 
 # Bump whenever a simulator change can alter run results; every cached
 # entry keyed under the old salt becomes unreachable.
-CODE_VERSION = "sweep-v4"
+CODE_VERSION = "sweep-v5"
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

@@ -124,6 +124,16 @@ class Mesh:
     def core_to_core(self, core_a: int, core_b: int) -> int:
         return self.latency(self.tile_of_core(core_a), self.tile_of_core(core_b))
 
+    def detour_latency(self, extra_hops: int) -> int:
+        """Latency added by rerouting a message ``extra_hops`` extra
+        mesh hops (each hop adds its link and router traversal).
+
+        Used by the fault injector's delayed-BankAck path
+        (:mod:`repro.sim.faults`): a rerouted ack pays the nominal
+        route plus this detour.
+        """
+        return extra_hops * (self._hop + self._router)
+
     def broadcast_from_core(self, core_id: int) -> int:
         """Latency for a broadcast from a core's tile to reach all banks.
 

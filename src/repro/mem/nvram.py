@@ -51,10 +51,31 @@ class NVRAMImage:
 
     Tracks the last persisted value tokens per line and, when
     ``track_order`` is on, the per-line record of the last persist and
-    the full ordered history for the recovery checker.
+    the full ordered history for the recovery checker.  Two parallel
+    structures make the history *replayable* so the crash sweep can
+    reconstruct the durable state at any truncation point without
+    re-running the machine:
+
+    * ``history_values[i]`` is the value snapshot ``history[i]``
+      committed (None when the commit carried no values);
+    * ``history_log[i]`` is the ``(data_line, old_values)`` payload of
+      an undo-log commit at index ``i``.
+
+    Both hold references to the same objects the live ``values`` /
+    ``log_entries`` maps do (ownership already transferred at commit),
+    so the extra tracking is one list append per persist.
+
+    ``reorder_window > 0`` enables the deliberately *unsound* fault of
+    :mod:`repro.sim.faults`: data/eviction commits are buffered and
+    recorded in reversed order once the window fills.  Only the
+    *recorded image* is perturbed -- simulation timing, acks, and stats
+    are untouched -- modelling ordering-oblivious hardware under the
+    same traffic.  On a crashed run, still-buffered persists are simply
+    lost (in flight inside the reordering hardware).
     """
 
-    def __init__(self, track_order: bool = False) -> None:
+    def __init__(self, track_order: bool = False,
+                 reorder_window: int = 0) -> None:
         self.track_order = track_order
         self._next_index = 0
         # line -> (offset -> token) of the last persisted version.
@@ -62,8 +83,14 @@ class NVRAMImage:
         # line -> PersistRecord of the last persist (track_order only).
         self.last_persist: Dict[int, PersistRecord] = {}
         self.history: List[PersistRecord] = []
+        # Per-record replay payloads, parallel to ``history``
+        # (track_order only).
+        self.history_values: List[Optional[Dict[int, object]]] = []
+        self.history_log: Dict[int, Tuple[int, Dict[int, object]]] = {}
         # Undo-log region contents: log_line -> (data_line, old values).
         self.log_entries: Dict[int, Tuple[int, Dict[int, object]]] = {}
+        self._reorder_window = reorder_window
+        self._deferred: List[tuple] = []
 
     def commit(
         self,
@@ -80,6 +107,24 @@ class NVRAMImage:
         private snapshot and must not mutate it afterwards (this is what
         lets the common path avoid a second ``dict(values)`` copy).
         """
+        if self._reorder_window and kind in ("data", "eviction"):
+            self._deferred.append(
+                (time, line, core_id, epoch_seq, kind, values)
+            )
+            if len(self._deferred) >= self._reorder_window:
+                self.flush_reorder_buffer()
+            return None
+        return self._commit(time, line, core_id, epoch_seq, kind, values)
+
+    def _commit(
+        self,
+        time: int,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        values: Optional[Dict[int, object]],
+    ) -> Optional[PersistRecord]:
         index = self._next_index
         self._next_index += 1
         if values is not None:
@@ -89,7 +134,28 @@ class NVRAMImage:
         record = PersistRecord(index, time, line, core_id, epoch_seq, kind)
         self.last_persist[line] = record
         self.history.append(record)
+        self.history_values.append(values)
         return record
+
+    def flush_reorder_buffer(self) -> int:
+        """Drain the reorder fault's window, committing it *reversed*.
+
+        Called when the window fills and at end-of-run drain; returns
+        the number of records committed.  A no-op without the fault.
+        """
+        batch = self._deferred
+        if not batch:
+            return 0
+        self._deferred = []
+        for args in reversed(batch):
+            self._commit(*args)
+        return len(batch)
+
+    @property
+    def deferred_persists(self) -> int:
+        """Persists still buffered by the reorder fault (lost at a
+        crash)."""
+        return len(self._deferred)
 
     def commit_log(
         self,
@@ -104,10 +170,13 @@ class NVRAMImage:
 
         Like :meth:`commit`, takes ownership of ``old_values``.
         """
-        self.log_entries[log_line] = (
-            data_line, old_values if old_values is not None else {}
-        )
-        return self.commit(time, log_line, core_id, epoch_seq, "log")
+        payload = (data_line, old_values if old_values is not None else {})
+        self.log_entries[log_line] = payload
+        record = self._commit(time, log_line, core_id, epoch_seq, "log",
+                              None)
+        if record is not None:
+            self.history_log[record.index] = payload
+        return record
 
     @property
     def persist_count(self) -> int:
@@ -185,6 +254,7 @@ class MemoryController:
         engine: Engine,
         image: NVRAMImage,
         stats: StatDomain,
+        faults=None,
     ) -> None:
         self.mc_id = mc_id
         self._config = config
@@ -192,6 +262,14 @@ class MemoryController:
         self._image = image
         self._stats = stats
         self._busy_until = 0
+        # Fault injection (sim/faults.py): transient service-start
+        # stalls, keyed on the controller's transaction ordinal so both
+        # engine modes stall the same transactions.  None (the default)
+        # keeps the hot path untouched.
+        self._faults = faults
+        self._txn_ordinal = 0
+        self._n_fault_stalls = 0
+        self._fault_stall_cycles = 0
         # Hot-path accounting: every controller transaction counts a
         # read/write and records its queue wait.  The fast path holds
         # these in plain attributes, merged into the stat domain by
@@ -205,9 +283,25 @@ class MemoryController:
         self._qw_count = 0
         self._qw_max = 0
 
+    def _fault_stall(self) -> int:
+        """Stall cycles for the next transaction (0 without faults)."""
+        ordinal = self._txn_ordinal
+        self._txn_ordinal = ordinal + 1
+        stall = self._faults.mc_stall(self.mc_id, ordinal)
+        if stall:
+            if self._fast:
+                self._n_fault_stalls += 1
+                self._fault_stall_cycles += stall
+            else:
+                self._stats.bump("fault_stalls")
+                self._stats.bump("fault_stall_cycles", stall)
+        return stall
+
     def _service_start(self, occupancy: int) -> int:
         now = self._engine.now
         start = max(now, self._busy_until)
+        if self._faults is not None:
+            start += self._fault_stall()
         self._busy_until = start + occupancy
         queue_wait = start - now
         if self._fast:
@@ -252,6 +346,11 @@ class MemoryController:
             self._qw_sum = 0
             self._qw_count = 0
             self._qw_max = 0
+        if self._n_fault_stalls:
+            stats.bump("fault_stalls", self._n_fault_stalls)
+            stats.bump("fault_stall_cycles", self._fault_stall_cycles)
+            self._n_fault_stalls = 0
+            self._fault_stall_cycles = 0
 
     # ------------------------------------------------------------------
     def read(self, line: int, callback: Callable[..., None],
@@ -338,6 +437,7 @@ class MemoryController:
         config = self._config
         occupancy = config.mc_write_occupancy
         latency = config.nvram_write_latency
+        faults = self._faults
         busy = self._busy_until
         dones: List[int] = []
         if self._fast:
@@ -345,6 +445,8 @@ class MemoryController:
             qw_max = self._qw_max
             for arrival in arrivals:
                 start = arrival if arrival > busy else busy
+                if faults is not None:
+                    start += self._fault_stall()
                 busy = start + occupancy
                 wait = start - arrival
                 qw_sum += wait
@@ -358,6 +460,8 @@ class MemoryController:
             stats = self._stats
             for arrival in arrivals:
                 start = arrival if arrival > busy else busy
+                if faults is not None:
+                    start += self._fault_stall()
                 busy = start + occupancy
                 stats.record("queue_wait", start - arrival)
                 dones.append(start + latency)

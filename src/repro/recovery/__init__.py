@@ -1,11 +1,15 @@
 """Crash injection and recovery checking.
 
 * :mod:`repro.recovery.crash`   -- run a machine up to an arbitrary
-  crash cycle and extract the durable state.
+  crash cycle and extract the durable state; or capture a full run and
+  truncate its persist history to any crash point after the fact.
 * :mod:`repro.recovery.checker` -- verify that the durable state at the
   crash point is consistent: the epoch happens-before order was never
   violated by the persist stream (BEP), and partially persisted epochs
   are undoable from the hardware log (BSP).
+* :mod:`repro.recovery.crashsweep` -- validate *every* truncation point
+  of one captured run in a single incremental pass, with a brute-force
+  truncate-and-recheck oracle for parity.
 * :mod:`repro.recovery.rebuild` -- actually perform recovery: roll torn
   BSP epochs back via the undo log and reconstruct data structures from
   the durable image.
@@ -16,8 +20,19 @@ from repro.recovery.checker import (
     check_bsp_recoverable,
     check_epoch_order,
     check_queue_recoverable,
+    check_queue_values,
 )
-from repro.recovery.crash import CrashOutcome, run_with_crash
+from repro.recovery.crash import (
+    CrashOutcome,
+    capture_run,
+    run_with_crash,
+    truncate_outcome,
+)
+from repro.recovery.crashsweep import (
+    SweepReport,
+    sweep_crash_points,
+    sweep_reference,
+)
 from repro.recovery.rebuild import (
     RecoveredQueue,
     RecoveredState,
@@ -28,12 +43,18 @@ from repro.recovery.rebuild import (
 __all__ = [
     "ConsistencyViolation",
     "CrashOutcome",
+    "SweepReport",
+    "capture_run",
     "check_bsp_recoverable",
     "check_epoch_order",
     "check_queue_recoverable",
+    "check_queue_values",
     "recover_bsp",
     "recover_queue",
     "RecoveredQueue",
     "RecoveredState",
     "run_with_crash",
+    "sweep_crash_points",
+    "sweep_reference",
+    "truncate_outcome",
 ]

@@ -153,8 +153,19 @@ def check_queue_recoverable(outcome: CrashOutcome, queue) -> int:
     an entry whose 512-byte body is not fully durable with the values the
     insert wrote.  Returns the durable head value checked against.
     """
+    return check_queue_values(outcome.image.values, queue)
+
+
+def check_queue_values(values_by_line: Dict[int, Dict[int, object]],
+                       queue) -> int:
+    """The queue invariant over a bare ``line -> values`` durable map.
+
+    Core of :func:`check_queue_recoverable`, split out so the crash
+    sweep can re-validate against its incrementally folded value state
+    without materialising a truncated image per crash point.
+    """
     head_line = queue.head_addr & ~(queue.line_size - 1)
-    head_values = outcome.image.values.get(head_line, {})
+    head_values = values_by_line.get(head_line, {})
     cursor = head_values.get(queue.head_addr - head_line)
     if cursor is None:
         return 0  # head never persisted: recovery sees an empty queue
@@ -171,7 +182,7 @@ def check_queue_recoverable(outcome: CrashOutcome, queue) -> int:
         slot_base = queue.slot_addr(seq)
         for offset in range(0, 512, queue.line_size):
             line = slot_base + offset
-            values = outcome.image.values.get(line)
+            values = values_by_line.get(line)
             expected = ("entry", thread_id, seq)
             if values is None or any(v != expected for v in values.values()):
                 raise ConsistencyViolation(

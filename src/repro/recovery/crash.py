@@ -10,8 +10,8 @@ checkers need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.epoch import Epoch
 from repro.mem.nvram import NVRAMImage
@@ -41,11 +41,23 @@ class CrashOutcome:
     crash_cycle: int
     image: NVRAMImage
     epochs: Dict[Tuple[int, int], EpochRecord]
+    # Per-core index over ``epochs``, built once on first use.  The
+    # checkers ask for a core's epochs on every predecessor walk; the
+    # old per-call filter-and-sort was quadratic over sweep-sized
+    # histories.
+    _by_core: Optional[Dict[int, List[EpochRecord]]] = field(
+        default=None, init=False, repr=False, compare=False,
+    )
 
     def epochs_of_core(self, core_id: int) -> List[EpochRecord]:
-        records = [r for r in self.epochs.values() if r.core_id == core_id]
-        records.sort(key=lambda r: r.seq)
-        return records
+        if self._by_core is None:
+            by_core: Dict[int, List[EpochRecord]] = {}
+            for record in self.epochs.values():
+                by_core.setdefault(record.core_id, []).append(record)
+            for records in by_core.values():
+                records.sort(key=lambda r: r.seq)
+            self._by_core = by_core
+        return self._by_core.get(core_id, [])
 
 
 def _record_epoch(epoch: Epoch) -> EpochRecord:
@@ -93,4 +105,66 @@ def run_with_crash(
         crash_cycle=machine.engine.now,
         image=machine.image,
         epochs=snapshot_epochs(machine),
+    )
+
+
+def capture_run(
+    machine: Multicore,
+    programs: List,
+    max_cycles: Optional[int] = None,
+) -> CrashOutcome:
+    """Run ``programs`` to completion (with drain) and capture the full
+    ordered persist history plus epoch ground truth.
+
+    The returned outcome is the *uncrashed* endpoint: every truncation
+    of its history (:func:`truncate_outcome`) is a crash point the
+    machine could actually have produced, which is what the exhaustive
+    sweep (:mod:`repro.recovery.crashsweep`) iterates over -- one run,
+    ``len(history) + 1`` crash points.
+    """
+    if not machine.image.track_order:
+        raise ValueError("capture_run needs track_persist_order=True")
+    machine.run(programs, max_cycles=max_cycles, drain=True)
+    return CrashOutcome(
+        crash_cycle=machine.engine.now,
+        image=machine.image,
+        epochs=snapshot_epochs(machine),
+    )
+
+
+def truncate_outcome(outcome: CrashOutcome, index: int) -> CrashOutcome:
+    """The crash outcome had the machine died after ``index`` persists.
+
+    Rebuilds the durable image from the first ``index`` records of the
+    captured history by replaying the per-record payloads
+    (``history_values`` / ``history_log``), without re-running the
+    machine.  ``index`` ranges from 0 (nothing durable) to
+    ``len(history)`` (the full image).  The epoch ground truth is shared
+    with ``outcome``: it describes the whole run, exactly as a real
+    crash at that instant would have left it.
+    """
+    source = outcome.image
+    history = source.history
+    if not 0 <= index <= len(history):
+        raise ValueError(
+            f"truncation index {index} outside [0, {len(history)}]"
+        )
+    image = NVRAMImage(track_order=True)
+    image.history = history[:index]
+    image.history_values = source.history_values[:index]
+    for i in range(index):
+        record = history[i]
+        image.last_persist[record.line] = record
+        values = image.history_values[i]
+        if values is not None:
+            image.values[record.line] = values
+        payload = source.history_log.get(i)
+        if payload is not None:
+            image.log_entries[record.line] = payload
+            image.history_log[i] = payload
+    image._next_index = index
+    return CrashOutcome(
+        crash_cycle=history[index - 1].time if index else 0,
+        image=image,
+        epochs=outcome.epochs,
     )

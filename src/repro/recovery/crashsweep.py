@@ -1,0 +1,345 @@
+"""Exhaustive crash-point sweep over a captured persist history.
+
+A crash can land between any two NVRAM commits, so the durable state a
+recovery procedure might see is exactly the set of *prefixes* of the
+persist history.  The historical way to cover that space was to re-run
+the workload once per crash cycle -- N runs for N crash points.  This
+module instead runs the workload **once** (:func:`repro.recovery.crash.
+capture_run`), then validates every one of the ``len(history) + 1``
+truncation points in a single forward pass over the history:
+
+* **Epoch order** (:func:`~repro.recovery.checker.check_epoch_order`)
+  is a forward fold already: a prefix is valid iff no record up to the
+  cut violates the happens-before rule, and durability is monotone, so
+  one incremental walk with memoised "fully durable" / "predecessors
+  verified" sets validates all prefixes at once.
+
+* **BSP undo coverage** (:func:`~repro.recovery.checker.
+  check_bsp_recoverable`) is *not* prefix-monotone -- a violation at
+  one cut can be healed by a later log persist -- so the sweep keeps a
+  per-epoch state machine (lines still needed for full durability,
+  per-data-line undo-log coverage counts, count of uncovered durable
+  lines) plus the set of currently-violating epochs; a prefix is valid
+  iff that set is empty after folding its last record.  Circular-log
+  slot reuse re-attributes coverage exactly like the batch checker's
+  last-write-wins ``last_persist`` attribution.
+
+* **Queue semantics** (:func:`~repro.recovery.checker.
+  check_queue_values`) depend only on the queue's header and slot
+  lines, so the sweep folds the per-record value snapshots into a
+  running durable map and re-validates only at commits that touch a
+  watched line -- all other prefixes inherit the previous verdict.
+
+:func:`sweep_reference` is the independent oracle: it materialises a
+truncated image per point (:func:`~repro.recovery.crash.
+truncate_outcome`) and runs the plain batch checkers.  The bench's
+``--only crash`` section asserts verdict parity between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.recovery.checker import (
+    ConsistencyViolation,
+    _predecessors,
+    check_bsp_recoverable,
+    check_epoch_order,
+    check_queue_recoverable,
+    check_queue_values,
+)
+from repro.recovery.crash import CrashOutcome, truncate_outcome
+
+EpochKey = Tuple[int, int]
+
+_QUEUE_ENTRY_BYTES = 512  # Figure 10 queue entry size
+
+
+@dataclass
+class SweepReport:
+    """Result of sweeping every truncation point of one captured run."""
+
+    points: int                # truncation points covered (history + 1)
+    history_len: int           # persist records in the captured history
+    data_persists: int         # epoch-tagged records the order check saw
+    queue_checks: int          # queue re-validations actually performed
+    bsp_checked: bool          # whether BSP undo coverage was swept
+    ok: bool
+    first_violation: Optional[int] = None   # earliest failing truncation
+    violation: Optional[str] = None         # its message
+
+    def merge_key(self) -> Tuple[bool, Optional[int]]:
+        """The verdict fields two sweeps must agree on for parity."""
+        return (self.ok, self.first_violation)
+
+
+class _BspEpoch:
+    """Per-epoch BSP coverage state for the incremental sweep."""
+
+    __slots__ = ("needed", "logged", "uncovered")
+
+    def __init__(self, all_lines: frozenset) -> None:
+        self.needed: Set[int] = set(all_lines)  # lines not yet durable
+        self.logged: Dict[int, int] = {}        # data line -> log count
+        self.uncovered = 0                      # durable lines w/o log
+
+
+def _queue_watch_lines(queue) -> Set[int]:
+    """Every line whose durable value can change the queue verdict."""
+    lines = {queue.head_addr & ~(queue.line_size - 1)}
+    for slot in range(queue.capacity):
+        base = queue.slot_addr(slot)
+        for offset in range(0, _QUEUE_ENTRY_BYTES, queue.line_size):
+            lines.add(base + offset)
+    return lines
+
+
+def sweep_crash_points(
+    outcome: CrashOutcome,
+    queues: Sequence = (),
+    bsp: bool = False,
+    raise_on_violation: bool = True,
+) -> SweepReport:
+    """Validate every truncation point of ``outcome`` incrementally.
+
+    ``outcome`` must come from :func:`~repro.recovery.crash.capture_run`
+    (or any outcome whose image carries the replay payloads).  Point 0
+    (nothing durable) is vacuously valid; point ``i`` covers the first
+    ``i`` persist records.  On a violation, ``first_violation`` is the
+    earliest invalid point; with ``raise_on_violation`` the underlying
+    :class:`ConsistencyViolation` propagates.
+    """
+    image = outcome.image
+    history = image.history
+    history_values = image.history_values
+    history_log = image.history_log
+    epochs = outcome.epochs
+    if len(history_values) != len(history):
+        raise ValueError(
+            "outcome's image lacks replay payloads; capture it with "
+            "capture_run / run_with_crash on a track_persist_order "
+            "machine"
+        )
+
+    # ---- epoch-order fold state --------------------------------------
+    durable_lines: Dict[EpochKey, Set[int]] = {}
+    fully_durable: Set[EpochKey] = set()
+    preds_cache: Dict[EpochKey, frozenset] = {}
+    preds_verified: Set[EpochKey] = set()
+
+    def predecessors(key: EpochKey) -> frozenset:
+        cached = preds_cache.get(key)
+        if cached is None:
+            cached = frozenset(_predecessors(outcome, key))
+            preds_cache[key] = cached
+        return cached
+
+    def is_fully_durable(key: EpochKey) -> bool:
+        if key in fully_durable:
+            return True
+        record = epochs.get(key)
+        if record is None:
+            return False
+        if record.all_lines <= durable_lines.get(key, set()):
+            fully_durable.add(key)
+            return True
+        return False
+
+    def require_predecessors_durable(key: EpochKey, line: int) -> None:
+        # Once verified for a key, always verified: durability only
+        # grows, and the predecessor closure of a key is static.
+        if key in preds_verified:
+            return
+        stack = list(predecessors(key))
+        seen: Set[EpochKey] = set(stack)
+        while stack:
+            pred = stack.pop()
+            if pred not in epochs:
+                continue
+            if not is_fully_durable(pred):
+                raise ConsistencyViolation(
+                    f"line 0x{line:x} of epoch {key} persisted before "
+                    f"predecessor epoch {pred} was fully durable "
+                    f"({len(durable_lines.get(pred, set()))}/"
+                    f"{len(epochs[pred].all_lines)} lines)"
+                )
+            for nxt in predecessors(pred):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        preds_verified.add(key)
+
+    # ---- BSP fold state ----------------------------------------------
+    bsp_states: Dict[EpochKey, _BspEpoch] = {}
+    log_attr: Dict[int, Tuple[EpochKey, int]] = {}  # log line -> owner
+    bad_keys: Set[EpochKey] = set()
+
+    def bsp_state(key: EpochKey) -> Optional[_BspEpoch]:
+        state = bsp_states.get(key)
+        if state is None:
+            record = epochs.get(key)
+            if record is None:
+                return None  # exempt, like the batch checker's skip
+            state = bsp_states[key] = _BspEpoch(record.all_lines)
+        return state
+
+    def refresh_bad(key: EpochKey, state: _BspEpoch) -> None:
+        # Violating iff partially durable with an unlogged durable line.
+        if state.needed and state.uncovered > 0:
+            bad_keys.add(key)
+        else:
+            bad_keys.discard(key)
+
+    def bsp_apply_data(key: EpochKey, line: int) -> None:
+        state = bsp_state(key)
+        if state is None:
+            return
+        state.needed.discard(line)
+        if not state.logged.get(line):
+            state.uncovered += 1
+        refresh_bad(key, state)
+
+    def bsp_apply_log(index: int, record) -> None:
+        payload = history_log.get(index)
+        if payload is None:
+            return
+        data_line = payload[0]
+        log_line = record.line
+        previous = log_attr.get(log_line)
+        if previous is not None:
+            # Circular-log slot reuse: the batch checker attributes a
+            # slot to its *last* persist, so the old owner loses this
+            # entry's coverage.
+            old_key, old_data = previous
+            old_state = bsp_states.get(old_key)
+            if old_state is not None:
+                count = old_state.logged.get(old_data, 0) - 1
+                if count > 0:
+                    old_state.logged[old_data] = count
+                else:
+                    old_state.logged.pop(old_data, None)
+                    if old_data in durable_lines.get(old_key, ()):
+                        old_state.uncovered += 1
+                refresh_bad(old_key, old_state)
+        key = (record.core_id, record.epoch_seq)
+        log_attr[log_line] = (key, data_line)
+        state = bsp_state(key)
+        if state is None:
+            return
+        count = state.logged.get(data_line, 0)
+        state.logged[data_line] = count + 1
+        if count == 0 and data_line in durable_lines.get(key, ()):
+            state.uncovered -= 1
+        refresh_bad(key, state)
+
+    # ---- queue fold state --------------------------------------------
+    values_now: Dict[int, Dict[int, object]] = {}
+    watch: Dict[int, List] = {}
+    for queue in queues:
+        for line in _queue_watch_lines(queue):
+            watch.setdefault(line, []).append(queue)
+
+    data_persists = 0
+    queue_checks = 0
+    first_violation: Optional[int] = None
+    violation_msg: Optional[str] = None
+
+    for i, record in enumerate(history):
+        try:
+            kind = record.kind
+            if kind == "log":
+                if bsp:
+                    bsp_apply_log(i, record)
+            elif kind in ("data", "eviction") and record.epoch_seq >= 0:
+                key = (record.core_id, record.epoch_seq)
+                require_predecessors_durable(key, record.line)
+                durable_lines.setdefault(key, set()).add(record.line)
+                data_persists += 1
+                if bsp:
+                    bsp_apply_data(key, record.line)
+            if bsp and bad_keys:
+                key = next(iter(bad_keys))
+                state = bsp_states[key]
+                raise ConsistencyViolation(
+                    f"epoch {key} partially persisted with "
+                    f"{state.uncovered} durable line(s) lacking a "
+                    "durable undo-log entry to roll them back"
+                )
+            values = history_values[i]
+            if values is not None:
+                values_now[record.line] = values
+                watchers = watch.get(record.line)
+                if watchers:
+                    for queue in watchers:
+                        queue_checks += 1
+                        check_queue_values(values_now, queue)
+        except ConsistencyViolation as exc:
+            first_violation = i + 1
+            violation_msg = str(exc)
+            if raise_on_violation:
+                raise
+            break
+
+    return SweepReport(
+        points=len(history) + 1,
+        history_len=len(history),
+        data_persists=data_persists,
+        queue_checks=queue_checks,
+        bsp_checked=bsp,
+        ok=first_violation is None,
+        first_violation=first_violation,
+        violation=violation_msg,
+    )
+
+
+def sweep_reference(
+    outcome: CrashOutcome,
+    queues: Sequence = (),
+    bsp: bool = False,
+    stride: int = 1,
+    raise_on_violation: bool = True,
+) -> SweepReport:
+    """The brute-force oracle: truncate-and-recheck per crash point.
+
+    Materialises a truncated image at every ``stride``-th point (always
+    including the endpoints) and runs the plain batch checkers on it.
+    At ``stride=1`` its verdict must match :func:`sweep_crash_points`
+    exactly; larger strides trade coverage for time and only bound the
+    first violation from above.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    total = len(outcome.image.history)
+    points = sorted(set(range(0, total + 1, stride)) | {total})
+    data_persists = 0
+    queue_checks = 0
+    first_violation: Optional[int] = None
+    violation_msg: Optional[str] = None
+
+    for point in points:
+        truncated = truncate_outcome(outcome, point)
+        try:
+            data_persists = check_epoch_order(truncated)
+            if bsp:
+                check_bsp_recoverable(truncated)
+            for queue in queues:
+                queue_checks += 1
+                check_queue_recoverable(truncated, queue)
+        except ConsistencyViolation as exc:
+            first_violation = point
+            violation_msg = str(exc)
+            if raise_on_violation:
+                raise
+            break
+
+    return SweepReport(
+        points=len(points),
+        history_len=total,
+        data_persists=data_persists,
+        queue_checks=queue_checks,
+        bsp_checked=bsp,
+        ok=first_violation is None,
+        first_violation=first_violation,
+        violation=violation_msg,
+    )

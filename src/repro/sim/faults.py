@@ -1,0 +1,158 @@
+"""Deterministic, seeded fault injection for the persist pipeline.
+
+The robustness story of the flush protocol (section 4.1, Figure 8) rests
+on every message of the handshake arriving: a lost BankAck would wedge
+the arbiter, a stalled memory controller stretches the persist window a
+crash can land in.  This module injects exactly those hazards:
+
+* **dropped BankAcks** -- the bank's ack is lost in the mesh; the bank
+  times out and resends, bounded by ``max_ack_retries`` (the attempt at
+  the retry bound is always delivered, so forward progress is
+  guaranteed);
+* **delayed BankAcks** -- the ack is rerouted ``delay_ack_hops`` extra
+  mesh hops (congestion / adaptive-routing detour);
+* **transient NVRAM bank stalls** -- a controller transaction's service
+  start slips by ``mc_stall_cycles`` (media-level retries, thermal
+  throttling);
+* **persist reordering** -- a deliberately *unsound* fault: the NVRAM
+  image buffers ``reorder_window`` data persists and records them in
+  reversed order, modelling hardware that ignores the epoch ordering
+  protocol.  Its sole purpose is the checker self-test: the crash sweep
+  (:mod:`repro.recovery.crashsweep`) MUST raise
+  :class:`~repro.recovery.checker.ConsistencyViolation` under it,
+  proving the oracle can actually fail.
+
+Every decision is a pure function of the seed and stable simulated
+coordinates (core, bank, epoch sequence, attempt number, controller
+write ordinal) via a splitmix64-style integer hash -- never of wall
+clock, Python hashes, or a shared sequential PRNG stream.  Both engine
+modes (fast paths and the ``REPRO_SLOW_ENGINE=1`` reference heap)
+therefore make bit-identical fault decisions, which is what keeps the
+determinism digests comparable across modes *with faults enabled*.
+
+Fault injection deliberately does not cover the degenerate empty-bank
+acks (a bank with no lines of the epoch): those model the arbiter's own
+bookkeeping rather than mesh traffic, and faulting them would only
+re-exercise the same retry path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+# Stream tags: one per decision kind, so the same coordinates never
+# share a draw across kinds.
+_STREAM_DROP = 1
+_STREAM_DELAY = 2
+_STREAM_MC = 3
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a strong 64-bit integer mixer."""
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of the fault-injection layer.  All rates default to 0
+    (no faults); ``reorder_window=0`` disables the unsound fault."""
+
+    seed: int = 0
+    # BankAck loss: probability per (data-bearing) BankAck transmission.
+    drop_ack_rate: float = 0.0
+    # Cycles the sending bank waits (past the nominal delivery time)
+    # before concluding its ack was lost and resending.
+    ack_timeout: int = 200
+    # Retry bound: the ack sent at attempt == max_ack_retries is always
+    # delivered, so a flush can stall at most max_ack_retries timeouts.
+    max_ack_retries: int = 3
+    # BankAck rerouting: probability and detour length in mesh hops.
+    delay_ack_rate: float = 0.0
+    delay_ack_hops: int = 2
+    # Transient NVRAM stalls: probability per controller transaction,
+    # and the service-start slip in cycles.
+    mc_stall_rate: float = 0.0
+    mc_stall_cycles: int = 100
+    # The unsound reorder-persists fault (checker self-test only):
+    # buffer this many data/eviction persists and record them reversed.
+    reorder_window: int = 0
+
+
+class FaultInjector:
+    """Stateless-per-decision fault oracle built from a
+    :class:`FaultConfig`.
+
+    Decisions are order-independent: each is a hash of its coordinates,
+    so replaying the same simulated events in a different wall-clock
+    interleaving (fast vs reference engine) yields the same faults.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._base = _mix64(config.seed * _GOLDEN + 0x1234567)
+
+    # ------------------------------------------------------------------
+    def _draw(self, stream: int, *coords: int) -> float:
+        """A uniform [0, 1) draw keyed on (seed, stream, coords)."""
+        x = self._base ^ (stream * _GOLDEN)
+        for c in coords:
+            x = _mix64(x ^ ((c & _MASK64) * _GOLDEN))
+        return _mix64(x) / float(1 << 64)
+
+    # ------------------------------------------------------------------
+    # Flush-handshake faults (core/flush.py)
+    # ------------------------------------------------------------------
+    def drop_bank_ack(self, core_id: int, bank: int, epoch_seq: int,
+                      attempt: int) -> bool:
+        """True when this BankAck transmission is lost in the mesh.
+
+        Bounded: the transmission at ``attempt == max_ack_retries`` is
+        never dropped, so the retry chain always terminates.
+        """
+        cfg = self.config
+        if cfg.drop_ack_rate <= 0.0 or attempt >= cfg.max_ack_retries:
+            return False
+        return (
+            self._draw(_STREAM_DROP, core_id, bank, epoch_seq, attempt)
+            < cfg.drop_ack_rate
+        )
+
+    def bank_ack_detour(self, core_id: int, bank: int, epoch_seq: int,
+                        attempt: int) -> int:
+        """Extra mesh hops this BankAck is rerouted (0 = direct)."""
+        cfg = self.config
+        if cfg.delay_ack_rate <= 0.0:
+            return 0
+        if (
+            self._draw(_STREAM_DELAY, core_id, bank, epoch_seq, attempt)
+            < cfg.delay_ack_rate
+        ):
+            return cfg.delay_ack_hops
+        return 0
+
+    # ------------------------------------------------------------------
+    # Memory-controller faults (mem/nvram.py)
+    # ------------------------------------------------------------------
+    def mc_stall(self, mc_id: int, ordinal: int) -> int:
+        """Service-start slip (cycles) for the controller's
+        ``ordinal``-th transaction; 0 = no stall."""
+        cfg = self.config
+        if cfg.mc_stall_rate <= 0.0:
+            return 0
+        if self._draw(_STREAM_MC, mc_id, ordinal) < cfg.mc_stall_rate:
+            return cfg.mc_stall_cycles
+        return 0
+
+    # ------------------------------------------------------------------
+    @property
+    def reorder_window(self) -> int:
+        return self.config.reorder_window

@@ -41,6 +41,7 @@ from repro.mem.cache import CacheEntry, SetAssociativeCache
 from repro.mem.coherence import Directory, ReferenceDirectory
 from repro.mem.interconnect import Mesh
 from repro.mem.nvram import MemoryController, NVRAMImage
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.config import MachineConfig, PersistencyModel
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
@@ -145,6 +146,7 @@ class Multicore:
         track_persist_order: bool = False,
         keep_epoch_log: bool = False,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultConfig] = None,
     ) -> None:
         self.config = config
         self.tracer = tracer
@@ -153,11 +155,21 @@ class Multicore:
         self.track_values = track_values
         self.amap = AddressMap(config)
         self.mesh = Mesh(config)
-        self.image = NVRAMImage(track_order=track_persist_order)
+        # Fault injection must exist before the components that consult
+        # it (memory controllers, flush operations) are built.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(faults) if faults is not None else None
+        )
+        self.image = NVRAMImage(
+            track_order=track_persist_order,
+            reorder_window=(faults.reorder_window if faults is not None
+                            else 0),
+        )
 
         mc_stats = self.stats.domain("nvram")
         self.mcs: List[MemoryController] = [
-            MemoryController(i, config, self.engine, self.image, mc_stats)
+            MemoryController(i, config, self.engine, self.image, mc_stats,
+                             faults=self.faults)
             for i in range(config.num_memory_controllers)
         ]
         self.l1s: List[SetAssociativeCache] = [
@@ -1363,6 +1375,12 @@ class Multicore:
             )
             if drained:
                 cycles_durable = self.engine.now
+        if finished and drain and self.faults is not None:
+            # The unsound reorder fault may hold a partial batch of
+            # deferred persists; a completed (non-crash) run flushes
+            # them so the final image is whole.  Crash captures run with
+            # drain=False and deliberately lose them ("in flight").
+            self.image.flush_reorder_buffer()
         self._flush_hot_stats()
         return RunResult(
             cycles_visible=cycles_visible,
@@ -1441,6 +1459,8 @@ class Multicore:
             cache.flush_hot_stats()
         for mc in self.mcs:
             mc.flush_hot_stats()
+        for arbiter in self.arbiters:
+            arbiter.flush_hot_stats()
 
     # ------------------------------------------------------------------
     # Invariant auditing (used by the test suite)
