@@ -109,7 +109,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
                        transactions=args.transactions, profile=args.profile,
                        sweep=not args.no_sweep, workload=args.workload,
-                       only=args.only)
+                       only=args.only, profile_top=args.profile_top,
+                       million=not args.no_million)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1
@@ -298,18 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--profile", action="store_true",
                          help="cProfile one single run into "
                               "BENCH_profile.txt")
+    bench_p.add_argument("--profile-top", type=int, default=30,
+                         help="rows of the profile table --profile writes "
+                              "(default 30)")
     bench_p.add_argument("--no-sweep", action="store_true",
                          help="skip the sweep-executor timing (smoke mode)")
+    bench_p.add_argument("--no-million", action="store_true",
+                         help="skip the million-transaction scale run")
     bench_p.add_argument("--workload", default=None,
                          help="micro for the flush-bound run and --profile "
                               "(default flushbound)")
     bench_p.add_argument("--only",
-                         choices=("single", "flush", "multicore", "crash"),
+                         choices=("single", "flush", "multicore", "serving",
+                                  "crash"),
                          default=None,
                          help="run just one bench family (skips the "
-                              "matrix, crash-recovery, and sweep sections; "
-                              "'crash' runs the exhaustive crash-point "
-                              "sweeps and fault-injection checks)")
+                              "matrix, crash-recovery, million, and sweep "
+                              "sections; 'crash' runs the exhaustive "
+                              "crash-point sweeps and fault-injection "
+                              "checks)")
     bench_p.add_argument("--check-digests", action="store_true",
                          help="exit nonzero unless every fast-vs-reference "
                               "digest and crash-recovery verdict matches")

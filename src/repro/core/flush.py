@@ -172,6 +172,9 @@ class FlushOperation:
         b2mc = self._mesh.b2mc
         mcs = machine.mcs
         l1 = machine.l1s[core]
+        # Bulk residency probe: one pass over the epoch's lines instead
+        # of a lookup call per line in the per-bank loop below.
+        l1_resident = l1.dirty_under(epoch_lines, epoch)
         seq = epoch.seq
         outstanding = self._bank_outstanding
         state = self._bank_state
@@ -196,12 +199,7 @@ class FlushOperation:
             prev = -1
             for i, line in enumerate(lines):
                 t = base + i * interval
-                l1_entry = l1.lookup(line)
-                in_l1 = (
-                    l1_entry is not None
-                    and l1_entry.dirty
-                    and l1_entry.epoch is epoch
-                )
+                in_l1 = line in l1_resident
                 if in_l1:
                     # Step 1: FlushLines -- L1 writes the line back
                     # through the mesh to the bank before the bank can

@@ -32,9 +32,11 @@ The core also implements the persistency models' visibility rules:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Tuple
 
+from repro.core.epoch import EpochStatus
 from repro.sim.config import PersistencyModel
 from repro.workloads.base import Op, OpKind
 
@@ -109,7 +111,24 @@ class Core:
         self._line_mask = ~(machine.config.line_size - 1)
         self._issue_cycles = machine.config.issue_width_cycles
         self._wb_capacity = machine.config.write_buffer_entries
+        self._track_values = machine.track_values
         self._compute_depth = 0
+        # Fast-forward drain sessions (_ff_try): fast mode only, and only
+        # for the epoch-tagged models whose drain chain dominates the
+        # event count.  _ff_active marks a session in progress so
+        # _issue_store virtualizes its issue-width continuation instead
+        # of scheduling it; _ff_issue_slot carries that (time, seq) pair
+        # back to the session loop.
+        self._ff_on = self._fast and self._uses_epochs
+        self._ff_active = False
+        self._ff_issue_slot: Optional[Tuple[int, int]] = None
+        # Session accounting, exposed for tests and diagnostics.  Plain
+        # attributes that are never merged into a stat domain: reference
+        # mode has no sessions, so folding these into digested stats
+        # would break fast-vs-reference digest equality by construction.
+        self.ff_batches = 0
+        self.ff_stores = 0
+        self.ff_fallbacks = 0
 
         self.wb: deque[WriteBufferEntry] = deque()
         self._wb_stores = 0
@@ -245,15 +264,32 @@ class Core:
             return
         line = op.addr & self._line_mask
         values: Optional[Dict[int, object]] = None
-        if self._machine.track_values:
+        if self._track_values:
             values = {op.addr - line: op.value}
-        self._push(WriteBufferEntry(line, values))
+        # _push, inlined: this is the hottest call site (twice per store
+        # on a streaming burst, once at issue and once resumed after the
+        # stall), and the barrier/strand paths keep using the helper.
+        self.wb.append(WriteBufferEntry(line, values))
+        if not self._draining:
+            self._draining = True
+            self._engine.call_soon(self._drain)
         self._wb_stores += 1
         self._wb_lines[line] = self._wb_lines.get(line, 0) + 1
         if self._fast:
             self._n_stores += 1
         else:
             self.stats.bump("stores")
+        if self._ff_active:
+            # Inside a fast-forward session the issue-width advance
+            # becomes the session's virtual issue event; the session
+            # merges it against the queues by (time, seq), which is the
+            # scheduled path's ordering by construction.  The sequence
+            # allocation is ff_take_seq, inlined.
+            eng = self._engine
+            seq = eng._seq
+            eng._seq = seq + 1
+            self._ff_issue_slot = (eng.now + self._issue_cycles, seq)
+            return
         # NOTE: the issue-width advance must stay a scheduled event.  An
         # inline try_advance here is unsound: _issue_store can run mid-
         # chain (resumed from _pop_store), and the enclosing caller may
@@ -328,6 +364,8 @@ class Core:
             return
 
         # Epoch-tagged store path (EP / BEP / BSP).
+        if self._ff_on and self._ff_try():
+            return
         current = self._mgr.current
         if (
             self._model is PersistencyModel.BSP
@@ -358,6 +396,257 @@ class Core:
             self.core_id, entry.line, entry.values, epoch,
             on_done=self._drained_epoch,
         )
+
+    # ------------------------------------------------------------------
+    # Fast-forward drain sessions
+    # ------------------------------------------------------------------
+    # The drain chain is the simulator's dominant event class: every
+    # store costs an issue-width continuation plus an L1 completion,
+    # each a heap round-trip.  A session replaces both with *virtual*
+    # events -- (time, seq) pairs held in locals -- and advances the
+    # clock analytically, firing any interleaved queued event through
+    # Engine.ff_dispatch_one in exact (time, priority, seq) order.  Every
+    # state mutation mirrors the event-per-op path line for line, so an
+    # observer of stats, cycle counts, or the NVRAM image cannot tell a
+    # fast-forwarded stretch from a stepped one; the moment any
+    # precondition fails the session re-materializes its outstanding
+    # virtual events under their original sequence numbers and yields to
+    # the event-per-op path.
+
+    def _ff_try(self) -> bool:
+        """Try to fast-forward the drain from the current buffer head.
+
+        Returns True when the session consumed the drain step (the
+        caller's _drain invocation is done); False to continue on the
+        event-per-op path with nothing changed.
+        """
+        if self._machine.faults is not None:
+            # Fault injection draws splitmix64 coordinates keyed by
+            # per-event attempt counts; fast-forwarding a faulty machine
+            # could shift a draw.  Conservative: never claim a window
+            # when an injector is configured.
+            self.ff_fallbacks += 1
+            return False
+        eng = self._engine
+        if not eng.ff_begin():
+            self.ff_fallbacks += 1
+            return False
+        self._ff_active = True
+        try:
+            outcome = self._ff_run()
+        finally:
+            eng.ff_end()
+            self._ff_active = False
+        if outcome == 0:
+            self.ff_fallbacks += 1
+            return False
+        if outcome == 1:
+            # The session stopped at work the event-per-op path owns (a
+            # barrier marker, a window stall, a potential conflict); run
+            # it now, at the cycle the session advanced to.
+            self._drain()
+        return True
+
+    def _ff_run(self) -> int:
+        """The session loop.
+
+        Returns 0 when the first drain step refused (no observable side
+        effects; the caller continues per-op), 1 when the session
+        advanced work and then reached a step the event-per-op path must
+        handle, or 2 when stop()/until interrupted it.  For 1 and 2
+        every outstanding virtual event has been re-materialized into
+        the heap under its original sequence number.
+        """
+        eng = self._engine
+        machine = self._machine
+        mgr = self._mgr
+        wb = self.wb
+        is_bsp = self._model is PersistencyModel.BSP
+        bsp_limit = self._config.bsp_epoch_stores if is_bsp else 0
+        core_id = self.core_id
+        cur = mgr.current
+        d_slot = None   # (time, seq, epoch): store completion in flight
+        n_slot = None   # (time, seq): pending issue-width continuation
+        stores = 0
+        # Hoisted queue handles: compaction mutates these objects in
+        # place (never replaces them), so the bindings stay valid across
+        # any event the session dispatches.
+        queue = eng._queue
+        ready = eng._ready
+        until = eng._until
+        ff_store_try = machine.ff_store_try
+        wb_popleft = wb.popleft
+        wb_lines = self._wb_lines
+        ongoing_s = EpochStatus.ONGOING
+        closed_s = EpochStatus.CLOSED
+
+        while True:
+            if d_slot is None:
+                # -- drain step: claim the write-buffer head store -----
+                # Mirrors _drain's epoch-tagged path; any condition the
+                # event-per-op path owns ends the session (or refuses
+                # it, when nothing has been advanced yet).
+                if not wb:
+                    break
+                head = wb[0]
+                if head.is_barrier or head.strand is not None:
+                    break
+                # The current-epoch lookup is cached across the burst; a
+                # barrier or split flips `ongoing`, so staleness is one
+                # attribute check away.
+                if cur is None or cur.status is not ongoing_s:
+                    cur = mgr.current
+                if (
+                    is_bsp
+                    and cur is not None
+                    and cur.num_stores + cur.pending_stores >= bsp_limit
+                ):
+                    break
+                if cur is None:
+                    if not mgr.can_open_epoch():
+                        break
+                    # Same epoch the per-op tag_store would open, at the
+                    # same cycle with the same stats.
+                    cur = mgr.current_or_new()
+                lat = ff_store_try(core_id, head.line, head.values, cur)
+                if lat < 0:
+                    break
+                cur.pending_stores += 1
+                seq = eng._seq
+                eng._seq = seq + 1
+                d_slot = (eng.now + lat, seq, cur)
+                stores += 1
+                continue
+
+            # -- fire the earliest of {queued event, completion, issue} --
+            t_d = d_slot[0]
+            s_d = d_slot[1]
+            if n_slot is not None and (
+                n_slot[0] < t_d or (n_slot[0] == t_d and n_slot[1] < s_d)
+            ):
+                v_time = n_slot[0]
+                v_seq = n_slot[1]
+                v_is_issue = True
+            else:
+                v_time = t_d
+                v_seq = s_d
+                v_is_issue = False
+            # Inline ff_next_key: decide whether a foreign queued event
+            # precedes the virtual one without building key tuples.  A
+            # ready entry carries key (now, 0, seq) and now <= v_time
+            # always holds, so when the clocks tie only the seq decides;
+            # for the until-bound both candidate times are <= now <=
+            # until, so f_time only matters for the heap case.
+            if (ready and ready[0][3] is not None
+                    and ready[0][3].cancelled) or (
+                    queue and queue[0][3] is not None
+                    and queue[0][3].cancelled):
+                eng._discard_cancelled_head()
+            f_time = -1
+            if ready:
+                if eng.now < v_time or ready[0][0] < v_seq:
+                    f_time = eng.now
+            if f_time < 0 and queue:
+                head2 = queue[0]
+                h0 = head2[0]
+                if h0 < v_time or (
+                    h0 == v_time
+                    and (head2[1] < 0
+                         or (head2[1] == 0 and head2[2] < v_seq))
+                ):
+                    f_time = h0
+            if f_time >= 0:
+                if eng._stopped or (until is not None and f_time > until):
+                    self._ff_rematerialize(d_slot, n_slot)
+                    self.ff_batches += 1
+                    self.ff_stores += stores
+                    return 2
+                eng.ff_dispatch_one()
+                if self._ff_issue_slot is not None:
+                    n_slot = self._ff_issue_slot
+                    self._ff_issue_slot = None
+                continue
+            if eng._stopped or (until is not None and v_time > until):
+                self._ff_rematerialize(d_slot, n_slot)
+                self.ff_batches += 1
+                self.ff_stores += stores
+                return 2
+            # The comparison against fkey guarantees the ready deque is
+            # empty whenever v_time > now, so this is the same heap-head
+            # clock advance run() performs.
+            eng.now = v_time
+            if v_is_issue:
+                n_slot = None
+                self._next()
+                if self._ff_issue_slot is not None:
+                    n_slot = self._ff_issue_slot
+                    self._ff_issue_slot = None
+                continue
+            # Store completion: mirror _drained_epoch + _pop_store,
+            # with EpochManager.store_drained inlined (resolve split
+            # redirects, retire the pending store, complete a closed
+            # epoch that just emptied).
+            epoch = d_slot[2]
+            d_slot = None
+            while epoch.redirect is not None:
+                epoch = epoch.redirect
+            pending = epoch.pending_stores - 1
+            epoch.pending_stores = pending
+            epoch.num_stores += 1
+            if pending <= 0:
+                if pending < 0:
+                    raise RuntimeError(
+                        f"store accounting underflow on {epoch}"
+                    )
+                if epoch.status is closed_s:
+                    mgr._complete(epoch)
+            entry = wb_popleft()
+            self._wb_stores -= 1
+            count = wb_lines[entry.line] - 1
+            if count:
+                wb_lines[entry.line] = count
+            else:
+                del wb_lines[entry.line]
+            op = self._pending_push
+            if op is not None:
+                # _resume_pending_push, inlined: the pop above freed a
+                # buffer slot, so only outstanding write-throughs can
+                # still hold the op back.
+                if self._wb_stores + self._wt_outstanding < self._wb_capacity:
+                    self._pending_push = None
+                    self._issue_store(op)
+                    if self._ff_issue_slot is not None:
+                        n_slot = self._ff_issue_slot
+                        self._ff_issue_slot = None
+
+        if not stores:
+            # Drain-step refusal before any work: a clean refuse (no
+            # issue continuation can exist yet either).
+            return 0
+        self._ff_rematerialize(None, n_slot)
+        self.ff_batches += 1
+        self.ff_stores += stores
+        return 1
+
+    def _ff_rematerialize(self, d_slot, n_slot) -> None:
+        """Push outstanding virtual events back into the heap under
+        their original sequence numbers, recreating exactly the entries
+        the scheduled path would have queued."""
+        eng = self._engine
+        if n_slot is not None:
+            heapq.heappush(
+                eng._queue,
+                (n_slot[0], 0, n_slot[1], None, self._next, ()),
+            )
+            eng._live += 1
+        if d_slot is not None:
+            self._drain_epoch = d_slot[2]
+            heapq.heappush(
+                eng._queue,
+                (d_slot[0], 0, d_slot[1], None,
+                 self._drained_epoch, (d_slot[0],)),
+            )
+            eng._live += 1
 
     def _drain_barrier(self, entry: WriteBufferEntry) -> None:
         self.wb.popleft()

@@ -17,7 +17,11 @@ performance trajectory is tracked across PRs:
   ``pingpong`` (contended 4-core producer/consumer pairs, measures the
   conflict path: directory lookups, epoch-tag probes, IDT edges, and
   epoch splits, with the conflict counters compared fast vs reference
-  alongside the digest).
+  alongside the digest), and ``serving`` (the zipfian key-value
+  front-end, measures the fast-forward engine against a realistic
+  mixed hit/miss request stream).  A separate million-transaction
+  section times one lazily generated run end to end against the
+  ROADMAP's under-a-minute scale target.
 * **sweep** -- the PR-1 executor benchmark: a fixed tiny-scale
   multi-figure sweep timed serial, parallel, and against a warm result
   cache.
@@ -113,6 +117,26 @@ _MULTI_RUN_BENCHMARK = "pingpong"
 _MULTI_RUN_CORES = 4
 _MULTI_RUN_PAIRS = 7
 _MULTI_CONFLICT_RATE = 1.0
+
+# Serving headline run: the zipfian key-value front-end on one core
+# under BEP + LB++.  Bursty arrivals leave the persist pipeline idle at
+# the head of each burst, which is the window the fast-forward engine
+# drains analytically; the 2 MB keyspace dwarfs the tiny LLC, so the
+# stream also exercises the fused full-miss path on every tail key.
+# The measured ratio is structurally modest (~1.1-1.4x): the dominant
+# cost -- cache dictionary churn and the MC state machine on ~6 fills
+# per transaction -- is semantic work both engine modes must do.
+_SERVING_TRANSACTIONS = 5000
+_SERVING_BENCHMARK = "serving"
+_SERVING_PAIRS = 3
+
+# Million-transaction scale run: the ROADMAP's "heavy serving traffic"
+# target, timed on the fast engine only.  Uncontended single-core
+# pingpong under BSP + LB++ is the configuration where the write-buffer
+# drain windows are conflict-free and flush-idle essentially always, so
+# the fast-forward engine absorbs ~99.9% of stores.
+_MILLION_TRANSACTIONS = 1_000_000
+_MILLION_BENCHMARK = "pingpong"
 
 # Crash-recovery verdicts: run a queue workload to a fixed crash cycle
 # in both engine modes and compare what the consistency checkers see.
@@ -475,6 +499,152 @@ def run_multicore_bench(seed: int = 1,
     }
 
 
+def ff_counters(machine: Multicore) -> Dict[str, int]:
+    """Fast-forward session counters summed across cores.
+
+    Diagnostics only: they live as plain attributes on the ``Core``
+    objects, never in the stat domains, so the reference engine (which
+    has no fast-forward sessions and leaves them at zero) still digests
+    identically.
+    """
+    return {
+        "batches": sum(c.ff_batches for c in machine.cores),
+        "stores": sum(c.ff_stores for c in machine.cores),
+        "fallbacks": sum(c.ff_fallbacks for c in machine.cores),
+    }
+
+
+def run_serving_bench(seed: int = 1,
+                      transactions: int = _SERVING_TRANSACTIONS,
+                      pairs: int = _SERVING_PAIRS) -> dict:
+    """Time the serving front-end fast vs reference.
+
+    The run itself is the digest-verified prefix: every timed repeat is
+    digested on both sides, so the headline number and the equivalence
+    check cover the identical op stream.  The fast-forward absorption
+    counters are reported alongside so the trajectory shows how much of
+    the store stream the analytic drain handled.
+    """
+    config, programs = _single_run_setup(
+        seed, transactions, model=PersistencyModel.BEP,
+        benchmark=_SERVING_BENCHMARK, num_cores=1,
+        barrier_design=BarrierDesign.LB_PP,
+    )
+    n_ops = sum(len(p) for p in programs)
+
+    fast_s, slow_s, fast_digest, slow_digest = _measure_interleaved(
+        config, programs, pairs
+    )
+
+    # One extra fast run to read the fast-forward counters (the timed
+    # machines are scoped inside the measurement helper).
+    machine = Multicore(config)
+    machine.run(programs)
+    ff = ff_counters(machine)
+
+    fast_ops = n_ops / fast_s if fast_s else 0.0
+    slow_ops = n_ops / slow_s if slow_s else 0.0
+    print(f"[bench] serving run ({_SERVING_BENCHMARK}, BEP/LB++, "
+          f"{config.num_cores} core(s), {transactions} txns, {n_ops} ops):")
+    print(f"[bench]   fast paths:    {fast_ops:10.0f} ops/s "
+          f"({fast_s * 1e3:.1f} ms)")
+    print(f"[bench]   reference:     {slow_ops:10.0f} ops/s "
+          f"({slow_s * 1e3:.1f} ms)")
+    print(f"[bench]   speedup:       {fast_ops / slow_ops:10.2f}x, digest "
+          f"{'MATCH' if fast_digest == slow_digest else 'MISMATCH'}")
+    print(f"[bench]   fast-forward:  {ff['stores']} stores in "
+          f"{ff['batches']} batches, {ff['fallbacks']} fallbacks")
+
+    return {
+        "benchmark": _SERVING_BENCHMARK,
+        "persistency": "bep",
+        "barrier_design": "lb_pp",
+        "num_cores": config.num_cores,
+        "transactions": transactions,
+        "ops": n_ops,
+        "pairs": pairs,
+        "ops_per_sec": {
+            "fast": round(fast_ops, 1),
+            "reference": round(slow_ops, 1),
+        },
+        "wall_seconds": {
+            "fast": round(fast_s, 4),
+            "reference": round(slow_s, 4),
+        },
+        "speedup": round(fast_ops / slow_ops, 3) if slow_ops else None,
+        "digest_match": fast_digest == slow_digest,
+        "fast_forward": ff,
+    }
+
+
+def run_million_bench(seed: int = 1,
+                      transactions: int = _MILLION_TRANSACTIONS) -> dict:
+    """Time one million-transaction run end to end on the fast engine.
+
+    The scale demonstration behind the serving work: the program is
+    generated lazily (a generator all the way down, constant memory)
+    and the fast-forward engine drains the conflict-free, flush-idle
+    write-buffer bursts analytically, sustaining ~20k transactions/s.
+    Timing-only -- the reference engine is run at this length by nobody;
+    equivalence of the same configuration is covered by the digest
+    matrices and the headline runs above.
+    """
+    from itertools import islice
+
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BSP,
+        barrier_design=BarrierDesign.LB_PP,
+        num_cores=1,
+    )
+    bench = make_benchmark(_MILLION_BENCHMARK, thread_id=0, seed=seed,
+                           line_size=config.line_size)
+
+    def buffered(it, block=1 << 14):
+        # Chunked pull: the core's per-op ``next`` resumes one shallow
+        # frame instead of the workload's nested generator chain, while
+        # memory stays bounded at one block of materialized ops.
+        while True:
+            chunk = list(islice(it, block))
+            if not chunk:
+                return
+            yield from chunk
+
+    machine = Multicore(config)
+    start = time.perf_counter()
+    result = machine.run([buffered(bench.ops(transactions))])
+    wall = time.perf_counter() - start
+    ff = ff_counters(machine)
+    stats = result.stats
+    n_ops = int(stats.total("loads") + stats.total("stores")
+                + stats.total("barriers") + stats.total("txns"))
+    txns_per_sec = transactions / wall if wall else 0.0
+
+    print(f"[bench] million-transaction run ({_MILLION_BENCHMARK}, "
+          f"BSP/LB++, 1 core, {transactions} txns, {n_ops} ops):")
+    print(f"[bench]   wall time:     {wall:10.1f} s "
+          f"({'under' if wall < 60.0 else 'OVER'} the one-minute target)")
+    print(f"[bench]   throughput:    {txns_per_sec:10.0f} txns/s, "
+          f"{n_ops / wall if wall else 0.0:.0f} ops/s")
+    print(f"[bench]   fast-forward:  {ff['stores']} stores in "
+          f"{ff['batches']} batches, {ff['fallbacks']} fallbacks")
+
+    return {
+        "benchmark": _MILLION_BENCHMARK,
+        "persistency": "bsp",
+        "barrier_design": "lb_pp",
+        "num_cores": config.num_cores,
+        "transactions": transactions,
+        "ops": n_ops,
+        "wall_seconds": round(wall, 2),
+        "txns_per_sec": round(txns_per_sec, 1),
+        "ops_per_sec": round(n_ops / wall, 1) if wall else None,
+        "under_minute": wall < 60.0,
+        "finished": result.finished,
+        "digest": state_digest(machine, result),
+        "fast_forward": ff,
+    }
+
+
 def multicore_digest_matrix(
     seed: int = 1, transactions: int = _DIGEST_TRANSACTIONS,
 ) -> Dict[str, dict]:
@@ -605,6 +775,9 @@ def crash_recovery_matrix(seed: int = 1) -> Dict[str, dict]:
 _SWEEP_QUEUE_TRANSACTIONS = 15
 _SWEEP_MULTI_TRANSACTIONS = 12
 _SWEEP_FAULT_TRANSACTIONS = 8
+# Serving is ~70% reads; 60 transactions yield a persist history in the
+# low hundreds (one 9-line epoch per PUT), same band as the others.
+_SWEEP_SERVING_TRANSACTIONS = 60
 
 
 def _sweep_scenarios(seed: int) -> List[tuple]:
@@ -650,12 +823,21 @@ def _sweep_scenarios(seed: int) -> List[tuple]:
             seed, _SWEEP_MULTI_TRANSACTIONS, barrier_design=design)
         return (config, programs, [], False)
 
+    def serving():
+        config, programs = _single_run_setup(
+            seed, _SWEEP_SERVING_TRANSACTIONS,
+            benchmark=_SERVING_BENCHMARK, num_cores=1,
+            barrier_design=BarrierDesign.LB_PP,
+        )
+        return (config, programs, [], False)
+
     return [
         ("queue_bep", queue_bep),
         ("queue_bsp", queue_bsp),
         ("flushbound_bep", flushbound),
         ("pingpong4_lb", lambda: pingpong(BarrierDesign.LB)),
         ("pingpong4_lbpp", lambda: pingpong(BarrierDesign.LB_PP)),
+        ("serving_bep", serving),
     ]
 
 
@@ -831,13 +1013,13 @@ def run_profile(seed: int = 1,
     simulator time goes); ``--workload hotset`` profiles the
     cache-resident hit path instead.
     """
-    # Flush-bound and multicore profiling want their benches' exact
-    # configurations (BEP + LB++; pingpong additionally 4 cores and the
-    # headline conflict rate); everything else profiles under the plain
-    # single-run config.
+    # Flush-bound, serving, and multicore profiling want their benches'
+    # exact configurations (BEP + LB++; pingpong additionally 4 cores
+    # and the headline conflict rate); everything else profiles under
+    # the plain single-run config.
     if benchmark == _MULTI_RUN_BENCHMARK:
         config, programs = _multicore_setup(seed, transactions)
-    elif benchmark == _FLUSH_RUN_BENCHMARK:
+    elif benchmark in (_FLUSH_RUN_BENCHMARK, _SERVING_BENCHMARK):
         config, programs = _single_run_setup(
             seed, transactions, benchmark=benchmark, num_cores=1,
             barrier_design=BarrierDesign.LB_PP,
@@ -947,7 +1129,8 @@ def run_sweep_bench(jobs: int, seed: int) -> dict:
 def _headline(record: dict) -> dict:
     """The numbers worth carrying forward in the trajectory."""
     entry: dict = {}
-    for key in ("single_run", "single_run_flush", "multicore_run"):
+    for key in ("single_run", "single_run_flush", "multicore_run",
+                "serving_run"):
         row = record.get(key)
         if row:
             entry[key] = {
@@ -957,11 +1140,45 @@ def _headline(record: dict) -> dict:
                     "fast"),
                 "speedup": row.get("speedup"),
             }
+    million = record.get("million_run")
+    if million:
+        entry["million_run"] = {
+            "benchmark": million.get("benchmark"),
+            "transactions": million.get("transactions"),
+            "txns_per_sec": million.get("txns_per_sec"),
+            "under_minute": million.get("under_minute"),
+        }
     sweep = record.get("sweep")
     if sweep:
         entry["sweep_parallel_vs_serial"] = (sweep.get("speedup") or {}).get(
             "parallel_vs_serial")
     return entry
+
+
+_TRAJECTORY_KEEP = 20
+
+
+def _retain_trajectory(trajectory: List[dict],
+                       keep: int = _TRAJECTORY_KEEP) -> List[dict]:
+    """Cap the trajectory per headline family rather than globally.
+
+    Each regeneration appends one combined entry, so a global
+    ``[-keep:]`` slice would let a newly introduced family (every entry
+    now carries an extra key) push the oldest entries of long-running
+    families out of the history even though fewer than ``keep`` entries
+    mention them.  Keep an entry while it is among the newest ``keep``
+    for at least one family it reports; order is preserved.
+    """
+    seen: Dict[str, int] = {}
+    kept: List[dict] = []
+    for entry in reversed(trajectory):
+        families = list(entry)
+        if any(seen.get(f, 0) < keep for f in families):
+            kept.append(entry)
+            for f in families:
+                seen[f] = seen.get(f, 0) + 1
+    kept.reverse()
+    return kept
 
 
 def _trajectory(path: Path) -> List[dict]:
@@ -979,7 +1196,7 @@ def _trajectory(path: Path) -> List[dict]:
     head = _headline(old)
     if head:
         trajectory.append(head)
-    return trajectory[-20:]
+    return _retain_trajectory(trajectory)
 
 
 def digests_ok(record: dict) -> bool:
@@ -987,12 +1204,16 @@ def digests_ok(record: dict) -> bool:
     matched: the headline runs (digests, and for the multicore run the
     conflict-path counters too), the model and multicore digest
     matrices, and the crash-recovery verdicts."""
-    for key in ("single_run", "single_run_flush", "multicore_run"):
+    for key in ("single_run", "single_run_flush", "multicore_run",
+                "serving_run"):
         row = record.get(key)
         if row and not row.get("digest_match"):
             return False
         if row and not row.get("counters_match", True):
             return False
+    million = record.get("million_run")
+    if million and not million.get("finished"):
+        return False
     for matrix in ("digests", "digests_multicore", "crash_recovery"):
         for row in (record.get(matrix) or {}).values():
             if not row.get("match"):
@@ -1012,14 +1233,16 @@ def digests_ok(record: dict) -> bool:
 def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
               transactions: Optional[int] = None, profile: bool = False,
               sweep: bool = True, workload: Optional[str] = None,
-              only: Optional[str] = None) -> dict:
+              only: Optional[str] = None, profile_top: int = 30,
+              million: bool = True) -> dict:
     """Run the benchmark families and write the report.
 
     ``only`` restricts the run to one bench family (``"single"``,
-    ``"flush"``, ``"multicore"``, or ``"crash"`` -- the exhaustive
-    crash-point sweeps plus fault injection) for CI smoke jobs; the
-    full matrix, crash-recovery, and sweep-executor sections run only
-    in the unrestricted mode.  ``--check-digests`` still works in restricted modes --
+    ``"flush"``, ``"multicore"``, ``"serving"``, or ``"crash"`` -- the
+    exhaustive crash-point sweeps plus fault injection) for CI smoke
+    jobs; the full matrix, crash-recovery, million-transaction, and
+    sweep-executor sections run only in the unrestricted mode.
+    ``--check-digests`` still works in restricted modes --
     :func:`digests_ok` checks whatever sections are present.
     """
     single_txns = (transactions if transactions is not None
@@ -1028,6 +1251,8 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
                   else _FLUSH_RUN_TRANSACTIONS)
     multi_txns = (transactions if transactions is not None
                   else _MULTI_RUN_TRANSACTIONS)
+    serving_txns = (transactions if transactions is not None
+                    else _SERVING_TRANSACTIONS)
     path = Path(output)
     record: dict = {
         "machine": {
@@ -1048,20 +1273,29 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
         record["multicore_run"] = run_multicore_bench(
             seed=seed, transactions=multi_txns)
         record["digests_multicore"] = multicore_digest_matrix(seed=seed)
+    if only in (None, "serving"):
+        record["serving_run"] = run_serving_bench(
+            seed=seed, transactions=serving_txns)
     if only in (None, "crash"):
         record["crash_sweep"] = run_crash_sweep_bench(seed=seed)
     if only is None:
         record["digests"] = digest_matrix(seed=seed)
         record["crash_recovery"] = crash_recovery_matrix(seed=seed)
+        if million:
+            record["million_run"] = run_million_bench(seed=seed)
     record["trajectory"] = _trajectory(path)
     if sweep and only is None:
         record["sweep"] = run_sweep_bench(jobs=jobs, seed=seed)
     if profile:
         bench_name = workload or _FLUSH_RUN_BENCHMARK
-        prof_txns = (multi_txns if bench_name == _MULTI_RUN_BENCHMARK
-                     else flush_txns)
+        if bench_name == _MULTI_RUN_BENCHMARK:
+            prof_txns = multi_txns
+        elif bench_name == _SERVING_BENCHMARK:
+            prof_txns = serving_txns
+        else:
+            prof_txns = flush_txns
         run_profile(seed=seed, transactions=prof_txns, output=output,
-                    benchmark=bench_name)
+                    top=profile_top, benchmark=bench_name)
 
     path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"[bench] wrote {path}")
@@ -1081,18 +1315,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {_SINGLE_RUN_TRANSACTIONS})")
     parser.add_argument("--profile", action="store_true",
                         help=f"cProfile one single run into {PROFILE_OUTPUT}")
+    parser.add_argument("--profile-top", type=int, default=30,
+                        help="rows of the profile table --profile writes "
+                             "(default 30)")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the sweep-executor timing (smoke mode)")
+    parser.add_argument("--no-million", action="store_true",
+                        help="skip the million-transaction scale run in "
+                             "the unrestricted mode")
     parser.add_argument("--workload", default=None,
                         help="micro for the flush-bound run and --profile "
                              f"(default {_FLUSH_RUN_BENCHMARK})")
     parser.add_argument("--only",
-                        choices=("single", "flush", "multicore", "crash"),
+                        choices=("single", "flush", "multicore", "serving",
+                                 "crash"),
                         default=None,
                         help="run just one bench family (skips the "
-                             "matrix, crash-recovery, and sweep sections; "
-                             "'crash' runs the exhaustive crash-point "
-                             "sweeps and fault-injection checks)")
+                             "matrix, crash-recovery, million, and sweep "
+                             "sections; 'crash' runs the exhaustive "
+                             "crash-point sweeps and fault-injection "
+                             "checks)")
     parser.add_argument("--check-digests", action="store_true",
                         help="exit nonzero unless every fast-vs-reference "
                              "digest and crash-recovery verdict matches")
@@ -1102,7 +1344,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     record = run_bench(jobs=args.jobs, seed=args.seed, output=args.output,
                        transactions=args.transactions, profile=args.profile,
                        sweep=not args.no_sweep, workload=args.workload,
-                       only=args.only)
+                       only=args.only, profile_top=args.profile_top,
+                       million=not args.no_million)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1

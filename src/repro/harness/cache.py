@@ -31,6 +31,10 @@ History:
   and memory controllers (new arbiter/controller counters even when
   disabled), plus replayable persist-history payloads on the tracked
   image.
+* ``sweep-v6`` -- the epoch-granular fast-forward drain engine.  It is
+  digest-invisible by contract, but the drain path it replaces is the
+  per-op hot loop for every store-heavy run, so cached summaries from
+  the pre-fast-forward code no longer certify the current simulator.
 """
 
 from __future__ import annotations
@@ -49,7 +53,7 @@ from repro.sim.config import MachineConfig
 
 # Bump whenever a simulator change can alter run results; every cached
 # entry keyed under the old salt becomes unreachable.
-CODE_VERSION = "sweep-v5"
+CODE_VERSION = "sweep-v6"
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

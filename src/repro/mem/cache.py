@@ -119,6 +119,32 @@ class SetAssociativeCache:
             self._last_entry = entry
         return entry
 
+    def dirty_under(self, lines, epoch) -> set:
+        """Subset of ``lines`` resident, dirty, and tagged by ``epoch``.
+
+        One pass replacing a per-line :meth:`lookup` loop (the flush
+        begin probe walks every line of an epoch).  Deliberately skips
+        the last-line memo: a bulk probe should not perturb the memo
+        the demand path relies on, and the per-line result is identical
+        either way.
+        """
+        sets = self._sets
+        offset = self._offset_bits
+        mask = self._set_mask
+        out = set()
+        if mask is not None:
+            for line in lines:
+                entry = sets[(line >> offset) & mask].get(line)
+                if entry is not None and entry.dirty and entry.epoch is epoch:
+                    out.add(line)
+        else:
+            nsets = self.num_sets
+            for line in lines:
+                entry = sets[(line >> offset) % nsets].get(line)
+                if entry is not None and entry.dirty and entry.epoch is epoch:
+                    out.add(line)
+        return out
+
     def touch(self, entry: CacheEntry) -> None:
         """Mark ``entry`` most-recently-used."""
         self._tick = tick = self._tick + 1

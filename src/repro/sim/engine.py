@@ -441,6 +441,125 @@ class Engine:
         self.now = time
         return True
 
+    # ------------------------------------------------------------------
+    # Fast-forward sessions
+    # ------------------------------------------------------------------
+    # A fast-forward session lets one component (the core's write-buffer
+    # drain) advance a stretch of its own future work analytically while
+    # interleaved foreign events still fire in exact (time, priority,
+    # seq) order.  The session holds the clock (``advance_holds``), so
+    # every inline-completion shortcut elsewhere conservatively
+    # schedules -- the queues stay the single source of truth for
+    # foreign work -- and the session's own *virtual* events live
+    # outside the queues as (time, seq) keys that the caller merges
+    # against :meth:`ff_next_key`.  Virtual events draw their sequence
+    # numbers from :meth:`ff_take_seq`, the same counter real scheduling
+    # uses, so a virtual event that has to be re-materialized into the
+    # heap (session bail-out) lands exactly where its scheduled twin
+    # would have been.  Virtual events are not counted in ``_live``; the
+    # re-materializing caller adds them back.
+
+    def ff_begin(self) -> bool:
+        """Open a fast-forward session.
+
+        Refuses (returning False) in reference mode, outside an
+        unbounded :meth:`run`, after :meth:`stop`, or while any
+        component holds the clock -- which includes another session, so
+        sessions never nest.
+        """
+        if (
+            not self.fast
+            or not self._in_run
+            or self._stopped
+            or self.advance_holds
+        ):
+            return False
+        self.advance_holds += 1
+        return True
+
+    def ff_end(self) -> None:
+        """Close the session opened by the matching :meth:`ff_begin`."""
+        self.advance_holds -= 1
+
+    def ff_take_seq(self) -> int:
+        """Allocate one sequence number for a virtual event."""
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def ff_next_key(self) -> Optional[Tuple[int, int, int]]:
+        """Key ``(time, priority, seq)`` of the next live queued event.
+
+        Returns None when both queues are empty.  Mirrors :meth:`run`'s
+        ordering: the ready head carries key ``(now, 0, seq)``, and the
+        heap head wins exactly when its key sorts below that.
+        """
+        self._discard_cancelled_head()
+        queue = self._queue
+        ready = self._ready
+        if ready:
+            rkey = (self.now, 0, ready[0][0])
+            if queue:
+                head = queue[0]
+                hkey = (head[0], head[1], head[2])
+                if hkey < rkey:
+                    return hkey
+            return rkey
+        if queue:
+            head = queue[0]
+            return (head[0], head[1], head[2])
+        return None
+
+    def ff_dispatch_one(self) -> None:
+        """Fire exactly one queued event, exactly as :meth:`run` would.
+
+        The caller has already decided via :meth:`ff_next_key` that this
+        event precedes its next virtual event and has checked the
+        stop/until bounds.  The clock advances off the heap just like in
+        the main loop; cancelled entries are skipped without firing.
+        """
+        queue = self._queue
+        ready = self._ready
+        while True:
+            if ready:
+                if queue:
+                    head = queue[0]
+                    if head[0] <= self.now and (
+                        head[1] < 0
+                        or (head[1] == 0 and head[2] < ready[0][0])
+                    ):
+                        entry = heapq.heappop(queue)
+                        event = entry[3]
+                        if event is None:
+                            self._live -= 1
+                            entry[4](*entry[5])
+                            return
+                        if not event.cancelled:
+                            self._live -= 1
+                            event.callback(*event.args)
+                            return
+                        continue
+                item = ready.popleft()
+                event = item[3]
+                if event is not None and event.cancelled:
+                    continue
+                self._live -= 1
+                item[1](*item[2])
+                return
+            if not queue:
+                return
+            entry = heapq.heappop(queue)
+            event = entry[3]
+            if event is not None and event.cancelled:
+                continue
+            self._live -= 1
+            self.now = entry[0]
+            if event is None:
+                entry[4](*entry[5])
+            else:
+                event.callback(*event.args)
+            return
+
     def stop(self) -> None:
         """Stop :meth:`run` after the current event returns."""
         self._stopped = True

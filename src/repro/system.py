@@ -399,6 +399,23 @@ class Multicore:
                             return
                         eng.schedule_call(lat, on_done, done)
                         return
+                if llc_entry is None and owner is None:
+                    # Fused full-miss path: an unowned, uncached line
+                    # fills from NVRAM without a request object.  All
+                    # fill-time hazards (races, dirty victims) are
+                    # re-checked at completion by _fused_miss_done,
+                    # which falls back to the request machinery there.
+                    self._n_llc_misses += 1
+                    mc_id = self.amap.mc_of(line)
+                    bank_mc = self.mesh.b2mc[bank][mc_id]
+                    travel = self._fill_travel[core_id][bank] + bank_mc
+                    delivery = bank_mc + self.mesh.c2b[core_id][bank]
+                    self.engine.schedule_call(
+                        travel, self._fused_miss_at_mc,
+                        mc_id, core_id, line, bank, delivery, on_done,
+                        self.engine.now, None, None,
+                    )
+                    return
         req = _Request(core_id, line, False, None, None, on_done)
         req.issue_time = self.engine.now
         self._try_access(req)
@@ -492,6 +509,26 @@ class Multicore:
                         self.directory.set_owner(line, core_id)
                     else:
                         llc_entry = self.llc_banks[bank].lookup(line)
+                        if llc_entry is None:
+                            # Fused full-miss path (write-allocate): the
+                            # guard proved the line unowned, untagged and
+                            # uncached, so the fill can run without a
+                            # request object; fill-time hazards are
+                            # re-checked at completion.  Stores do not
+                            # bump the LLC miss counter (the general
+                            # classifier does not either).
+                            mc_id = self.amap.mc_of(line)
+                            bank_mc = self.mesh.b2mc[bank][mc_id]
+                            travel = (self._fill_travel[core_id][bank]
+                                      + bank_mc)
+                            delivery = (bank_mc
+                                        + self.mesh.c2b[core_id][bank])
+                            self.engine.schedule_call(
+                                travel, self._fused_miss_at_mc,
+                                mc_id, core_id, line, bank, delivery,
+                                on_done, self.engine.now, values, resolved,
+                            )
+                            return
                         if llc_entry is not None:
                             # Same end state as _try_store -> _fill_l1
                             # for the clean-victim fill.
@@ -549,6 +586,222 @@ class Multicore:
         req.on_persist_ack = on_persist_ack
         req.issue_time = self.engine.now
         self._try_access(req)
+
+    def ff_store_try(self, core_id: int, line: int,
+                     values: Optional[Dict[int, object]],
+                     resolved: Epoch) -> int:
+        """Fast-forward drain step: apply one epoch-tagged store if it
+        is conflict-free, returning its latency, or -1 with no
+        observable side effect.
+
+        Mirrors the two fused shapes of :meth:`store` -- the same-epoch
+        dirty hit and the clean miss/upgrade -- state change for state
+        change and count for count, but never schedules the completion:
+        the caller (the core's fast-forward session) accounts it as a
+        virtual event.  The epoch-tag probe doubles as the session's
+        flush-in-window guard: a line whose previous version belongs to
+        any unpersisted epoch (closed, flushing, or foreign) is still in
+        the tag map, so the store returns -1 and the event-per-op drain
+        re-derives the conflict through the general classifier.
+        ``resolved`` must be the core's ongoing epoch, already resolved.
+        """
+        l1 = self.l1s[core_id]
+        if line == l1._last_line:
+            entry = l1._last_entry
+        else:
+            entry = l1.lookup(line)
+        if entry is not None and entry.dirty and entry.epoch is resolved:
+            self.directory.set_owner(line, core_id)
+            resolved.lines.add(line)
+            resolved.all_lines.add(line)
+            if self.track_values and values:
+                if entry.values is None:
+                    entry.values = {}
+                entry.values.update(values)
+            l1._tick = tick = l1._tick + 1
+            entry._lru = tick
+            lat = self._l1_lat
+        elif (
+            not self._logging_on
+            and entry is not None
+            and entry.dirty
+            and (entry.epoch is None or entry.epoch.persisted)
+            and line not in self._epoch_tags
+        ):
+            # Re-dirtying a line whose previous version already
+            # persisted: the general classifier's dirty-hit fast path
+            # (``_try_store`` -> ``_finish_store``) with no conflict
+            # possible -- the old version left the dirty domain, the
+            # line is still M-state in this L1, and the tag is a plain
+            # insert.  This is the first store of every transaction in
+            # re-touch workloads (pingpong mailboxes, zipfian hot keys).
+            self.directory.set_owner(line, core_id)
+            entry.dirty = True
+            entry.epoch = resolved
+            resolved.lines.add(line)
+            self._epoch_tags[line] = resolved
+            resolved.all_lines.add(line)
+            if self.track_values and values:
+                if entry.values is None:
+                    entry.values = {}
+                entry.values.update(values)
+            l1._tick = tick = l1._tick + 1
+            entry._lru = tick
+            lat = self._l1_lat
+        elif (
+            not self._logging_on
+            and (entry is None or not entry.dirty)
+            and line not in self._epoch_tags
+            and self.directory.exclusive_ok(line, core_id)
+        ):
+            bank = (line >> self._bank_shift) % self._n_banks
+            if entry is not None:
+                self.directory.set_owner(line, core_id)
+            else:
+                llc_entry = self.llc_banks[bank].lookup(line)
+                if llc_entry is None:
+                    return -1
+                filled = l1.clean_fill(line)
+                if filled is None:
+                    return -1
+                entry, victim_line = filled
+                if self.track_values:
+                    if llc_entry.values is not None:
+                        entry.values = dict(llc_entry.values)
+                    else:
+                        stored = self.image.values.get(line)
+                        entry.values = dict(stored) if stored else {}
+                self.directory.refill_owner(line, victim_line, core_id)
+            entry.dirty = True
+            entry.epoch = resolved
+            resolved.lines.add(line)
+            self._epoch_tags[line] = resolved
+            resolved.all_lines.add(line)
+            if self.track_values and values:
+                if entry.values is None:
+                    entry.values = {}
+                entry.values.update(values)
+            l1._tick = tick = l1._tick + 1
+            entry._lru = tick
+            lat = self._base_lat[core_id][bank]
+        else:
+            return -1
+        self._lat_sums[core_id] += lat
+        self._lat_counts[core_id] += 1
+        if lat > self._lat_maxes[core_id]:
+            self._lat_maxes[core_id] = lat
+        return lat
+
+    # ------------------------------------------------------------------
+    # Fused full-miss continuations
+    # ------------------------------------------------------------------
+    def _fused_miss_at_mc(self, mc_id: int, core_id: int, line: int,
+                          bank: int, delivery: int,
+                          on_done: Callable[[int], None], issue_time: int,
+                          values: Optional[Dict[int, object]],
+                          epoch: Optional[Epoch]) -> None:
+        # Same controller interaction as _mem_at_mc: the read consults
+        # and mutates MC state at the simulated arrival time.
+        self.mcs[mc_id].read(line, self._fused_miss_done, core_id, line,
+                             bank, delivery, on_done, issue_time, values,
+                             epoch)
+
+    def _fused_miss_done(self, core_id: int, line: int, bank: int,
+                         delivery: int, on_done: Callable[[int], None],
+                         issue_time: int,
+                         values: Optional[Dict[int, object]],
+                         epoch: Optional[Epoch], time: int) -> None:
+        """Completion of a fused full-miss fill (``epoch`` set for
+        stores, None for loads).
+
+        Mirrors :meth:`_mem_fill_done` plus the simple-victim tails of
+        ``_make_room_llc`` / ``_fill_l1`` / ``_finish_store`` /
+        ``_complete``.  Any fill-time hazard -- a race with another
+        core, a dirty LLC victim, a dirty L1 victim -- builds the
+        request object the scheduled path would have carried and
+        delegates to :meth:`_mem_fill_done`, which re-derives everything
+        from live state (``retries = 1`` matches the one classifier pass
+        the scheduled path took at issue)."""
+        bank_cache = self.llc_banks[bank]
+        raced = bank_cache.lookup(line)
+        l1 = self.l1s[core_id]
+        llc_victim = None
+        l1_entry = None
+        l1_victim = None
+        simple = (
+            self.directory.owner_of(line) is None
+            and (raced is None or not raced.unpersisted)
+        )
+        if simple and raced is None:
+            llc_victim = bank_cache.victim_for(line)
+            if llc_victim is not None and llc_victim.dirty:
+                simple = False
+        if simple:
+            l1_entry = l1.lookup(line)
+            if l1_entry is None:
+                l1_victim = l1.victim_for(line)
+                if l1_victim is not None and l1_victim.dirty:
+                    simple = False
+        if not simple:
+            req = _Request(core_id, line, epoch is not None, values,
+                           epoch, on_done)
+            req.issue_time = issue_time
+            req.retries = 1
+            self._mem_fill_done(req, bank, delivery, time)
+            return
+        if raced is None:
+            if llc_victim is not None:
+                bank_cache.remove(llc_victim.line)
+            llc_entry = bank_cache.insert(line)
+            if self.track_values:
+                stored = self.image.values.get(line)
+                llc_entry.values = dict(stored) if stored else {}
+        else:
+            llc_entry = raced
+        if l1_entry is None:
+            if l1_victim is not None:
+                l1_entry = l1.swap_in(line, l1_victim)
+                self.directory.drop_core(l1_victim.line, core_id)
+            else:
+                l1_entry = l1.swap_in(line)
+            if self.track_values:
+                if llc_entry.values is not None:
+                    l1_entry.values = dict(llc_entry.values)
+                else:
+                    stored = self.image.values.get(line)
+                    l1_entry.values = dict(stored) if stored else {}
+        if epoch is not None:
+            self.directory.set_owner(line, core_id)
+            resolved = epoch.resolve()
+            l1_entry.dirty = True
+            l1_entry.epoch = resolved
+            self._tag_line(resolved, line)
+            resolved.all_lines.add(line)
+            if self.track_values and values:
+                if l1_entry.values is None:
+                    l1_entry.values = {}
+                l1_entry.values.update(values)
+            l1.touch(l1_entry)
+        else:
+            self.directory.add_sharer(line, core_id)
+        eng = self.engine
+        done = eng.now + delivery
+        sample = done - issue_time
+        self._lat_sums[core_id] += sample
+        self._lat_counts[core_id] += 1
+        if sample > self._lat_maxes[core_id]:
+            self._lat_maxes[core_id] = sample
+        if (
+            self._inline_depth < _MAX_INLINE_DEPTH
+            and eng.try_advance(done)
+        ):
+            self._inline_depth += 1
+            try:
+                on_done(done)
+            finally:
+                self._inline_depth -= 1
+            return
+        eng.schedule_call(delivery, on_done, done)
 
     # ------------------------------------------------------------------
     # Request state machine

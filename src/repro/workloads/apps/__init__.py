@@ -13,4 +13,19 @@ See DESIGN.md section 2 for the substitution rationale.
 from repro.workloads.apps.generator import AppWorkload, app_programs
 from repro.workloads.apps.profiles import APP_PROFILES, AppProfile
 
-__all__ = ["APP_PROFILES", "AppProfile", "AppWorkload", "app_programs"]
+__all__ = [
+    "APP_PROFILES",
+    "AppProfile",
+    "AppWorkload",
+    "app_programs",
+    "ServingWorkload",
+]
+
+
+def __getattr__(name):
+    # Lazy: serving subclasses MicroBenchmark, and importing it here
+    # eagerly would drag workloads.micro into every apps import.
+    if name == "ServingWorkload":
+        from repro.workloads.apps.serving import ServingWorkload
+        return ServingWorkload
+    raise AttributeError(name)

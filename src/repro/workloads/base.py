@@ -24,7 +24,6 @@ Operations:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 
@@ -37,19 +36,45 @@ class OpKind(enum.Enum):
     STRAND = "strand"
 
 
-@dataclass(frozen=True, slots=True)
 class Op:
-    kind: OpKind
-    addr: int = 0
-    size: int = 0
-    value: Optional[object] = None
-    cycles: int = 0
+    """One memory operation.  Treat instances as immutable.
 
-    def __post_init__(self) -> None:
-        if self.kind in (OpKind.LOAD, OpKind.STORE) and self.size <= 0:
-            raise ValueError(f"{self.kind.value} needs a positive size")
-        if self.kind is OpKind.COMPUTE and self.cycles < 0:
+    A hand-rolled slots class rather than a frozen dataclass: million-
+    transaction programs construct tens of millions of these, and the
+    frozen dataclass ``__init__`` (an ``object.__setattr__`` per field)
+    costs several times a plain slot assignment on the lazy-generation
+    path, where op construction is interleaved with the timed run.
+    """
+
+    __slots__ = ("kind", "addr", "size", "value", "cycles")
+
+    def __init__(self, kind: OpKind, addr: int = 0, size: int = 0,
+                 value: Optional[object] = None, cycles: int = 0) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.value = value
+        self.cycles = cycles
+        if size <= 0 and (kind is OpKind.LOAD or kind is OpKind.STORE):
+            raise ValueError(f"{kind.value} needs a positive size")
+        if cycles < 0 and kind is OpKind.COMPUTE:
             raise ValueError("compute cycles must be non-negative")
+
+    def _astuple(self) -> tuple:
+        return (self.kind, self.addr, self.size, self.value, self.cycles)
+
+    def __repr__(self) -> str:
+        return (f"Op(kind={self.kind!r}, addr={self.addr!r}, "
+                f"size={self.size!r}, value={self.value!r}, "
+                f"cycles={self.cycles!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
 
 
 def load(addr: int, size: int = 8) -> Op:

