@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci test test-reference test-smoke test-slow bench figures clean-cache
+.PHONY: ci test test-reference test-smoke test-slow bench scale figures clean-cache
 
 # What CI runs (see .github/workflows/ci.yml): the fast tier-1 suite,
 # the same suite on the pure-heap reference engine, and a bench smoke
@@ -33,6 +33,13 @@ test-slow:
 # refresh BENCH_sweep.json.
 bench:
 	$(PYTHON) -m repro bench --jobs 4
+
+# The core-count scaling sweep: messages-per-flush and ops/s at
+# 4..64 cores (arbiter vs all-to-all), refreshing only the `scaling`
+# family of BENCH_sweep.json.
+scale:
+	$(PYTHON) -m repro bench --no-sweep --only scaling \
+		--cores 4,8,16,32,64 --check-digests
 
 figures:
 	$(PYTHON) -m repro figures all --scale small

@@ -110,7 +110,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                        transactions=args.transactions, profile=args.profile,
                        sweep=not args.no_sweep, workload=args.workload,
                        only=args.only, profile_top=args.profile_top,
-                       million=not args.no_million)
+                       million=not args.no_million, cores=args.cores)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1
@@ -311,13 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default flushbound)")
     bench_p.add_argument("--only",
                          choices=("single", "flush", "multicore", "serving",
-                                  "crash"),
+                                  "scaling", "crash"),
                          default=None,
                          help="run just one bench family (skips the "
                               "matrix, crash-recovery, million, and sweep "
-                              "sections; 'crash' runs the exhaustive "
-                              "crash-point sweeps and fault-injection "
-                              "checks)")
+                              "sections; 'scaling' runs the core-count "
+                              "sweep, 'crash' the exhaustive crash-point "
+                              "sweeps and fault-injection checks)")
+    from repro.harness.bench import parse_cores
+    bench_p.add_argument("--cores", type=parse_cores, default=None,
+                         metavar="N,N,...",
+                         help="core counts for the scaling sweep: powers "
+                              "of two between 2 and 64 "
+                              "(default 4,8,16,32,64)")
     bench_p.add_argument("--check-digests", action="store_true",
                          help="exit nonzero unless every fast-vs-reference "
                               "digest and crash-recovery verdict matches")

@@ -124,11 +124,23 @@ class Arbiter:
             for e in self._manager.window:
                 if e.seq <= seq and e.strand == strand:
                     e.conflict_flush = True
+        # Pump only when the demand is *new* (either horizon advanced).
+        # A request that changes nothing cannot change the pump's
+        # outcome -- every blocked candidate has a wake-up callback
+        # registered (completion, source persist, log ack) -- and
+        # skipping it is what makes the cross-arbiter online demand
+        # propagation in _flushable terminate: two cores whose strand
+        # heads depend on each other would otherwise re-request each
+        # other's sources with unchanged horizons forever.
+        advanced = False
         if epoch.seq > self._flush_horizon.get(strand, -1):
             self._flush_horizon[strand] = epoch.seq
+            advanced = True
         if online and epoch.seq > self._online_horizon.get(strand, -1):
             self._online_horizon[strand] = epoch.seq
-        self.pump()
+            advanced = True
+        if advanced:
+            self.pump()
 
     # ------------------------------------------------------------------
     # The pump
@@ -197,6 +209,9 @@ class Arbiter:
         if candidate.ongoing:
             # The horizon can only cover an ongoing epoch transiently
             # (e.g. requests raced with a split); wait for its barrier.
+            # The completion callback is the wake-up -- duplicate
+            # requests no longer pump unconditionally.
+            candidate.on_complete(self.pump)
             return None
         if not candidate.complete:
             # EpochCMP not yet received: stores still draining from

@@ -232,6 +232,11 @@ class EpochManager:
         # Wired by the machine: called when an epoch completes -- the
         # proactive-flushing trigger of section 3.2.
         self.completion_hook: Callable[[Epoch], None] = lambda epoch: None
+        # Wired by the machine: the core's digest-invisible handshake
+        # message accounting (None under standalone construction).
+        # mark_persisted charges one inform-register notification per
+        # IDT dependent cleared.
+        self.handshake = None
 
     # ------------------------------------------------------------------
     # Epoch creation / closing
@@ -272,8 +277,10 @@ class EpochManager:
 
     def current_or_new(self) -> Epoch:
         """The ongoing epoch, creating one if none is open."""
-        epoch = self.current
-        if epoch is None:
+        # ``current``, inlined: this runs once per drained store (via
+        # tag_store) and the two property hops are measurable there.
+        epoch = self._ongoing.get(self.active_strand)
+        if epoch is None or epoch.status is not EpochStatus.ONGOING:
             epoch = self._new_epoch()
         return epoch
 
@@ -480,6 +487,11 @@ class EpochManager:
             epoch.idt_dependents.clear()
             for dependent in dependents:
                 dependent.idt_sources.discard(epoch)
+            if self.handshake is not None:
+                # One inform-register notification per dependent core
+                # (section 4.2), attributed to the persisting epoch's
+                # core -- it is the sender.
+                self.handshake.idt_notify_msgs += len(dependents)
         else:
             dependents = ()
         waiters, epoch.persist_waiters = epoch.persist_waiters, []

@@ -26,7 +26,11 @@ the full invariant list):
 
 * One :class:`FlushOperation` is owned and reused by each arbiter --
   ``begin(epoch)`` resets its array-indexed per-bank state instead of
-  allocating dicts and closures per flush.
+  allocating dicts and closures per flush.  The reset is O(banks
+  touched), not O(banks): the pool maintains the invariant that
+  schedule/position/outstanding slots are clean between flushes
+  (restored for exactly the banks the previous flush used), and the
+  state byte-array resets with one template copy.
 * The per-bank issue schedule is precomputed in ``begin``: issue times,
   controller arrival times, and the FIFO service reservation for every
   (bank -> controller) run are all known up front, so each bank needs
@@ -37,6 +41,26 @@ the full invariant list):
   (via the walker), and NVRAM commits at each line's exact completion
   time (via the run walker) -- which is what keeps conflict
   classification and crash truncation identical to per-line issue.
+* Broadcast legs of the handshake cost O(banks *holding lines*)
+  events, not O(banks): the FlushEpoch legs to idle banks and the
+  whole PersistCMP broadcast are *virtual*, and so is BankAck
+  delivery when fault injection is off -- an ack's arrival time is
+  fully determined at send time and nothing observes it in flight, so
+  each send folds into the ack count and a running arrival *deadline*
+  instead of becoming an event, and
+  :meth:`FlushOperation._acks_complete` schedules PersistCMP at the
+  deadline.  Idle banks (immediate acks) are pre-counted at ``begin``
+  the same way.  Fault-injected runs keep per-ack events (drops and
+  detours perturb arrival times), which is also what keeps the retry
+  state machine observable.  (The engine's
+  ``schedule_fanout``/``schedule_fanout_groups`` batch APIs remain
+  for broadcasts that need real per-receiver delivery -- one resident
+  queue entry regardless of receiver count -- but every broadcast leg
+  of this handshake turned out to virtualise away entirely.)
+* Handshake *message* counts (as opposed to simulator events) are
+  accounted per flush into the core's digest-invisible
+  :class:`~repro.sim.stats.HandshakeStats`; batching never changes a
+  count, because messages are counted per logical hop, not per event.
 """
 
 from __future__ import annotations
@@ -45,7 +69,8 @@ from functools import partial
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.epoch import Epoch
-from repro.sim.config import FlushMode
+from repro.sim.config import FanoutTopology, FlushMode, HandshakeProtocol
+from repro.sim.stats import HandshakeStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.system import Multicore
@@ -63,6 +88,11 @@ _ISSUING = 1
 _ISSUE_DONE = 2
 _ACK_SENT = 3
 _ACKED = 4
+
+# Message-count sink for standalone FlushOperation construction (unit
+# tests building the op without a full machine); real machines hand
+# every flush op the per-core HandshakeStats instead.
+_NULL_HANDSHAKE = HandshakeStats()
 
 
 class ProtocolError(RuntimeError):
@@ -87,7 +117,10 @@ class FlushOperation:
         "_stats", "_ideal", "_invalidate", "_num_banks", "_epoch",
         "_bank_outstanding", "_bank_state", "_bank_sched", "_bank_pos",
         "_bank_cbs", "_acks_received", "_line_shift", "_n_mcs",
-        "_faults", "_arbiter",
+        "_faults", "_arbiter", "_tree_mode", "_ack_cost", "_cmp_msgs",
+        "_acked_template", "_used", "_delivery", "_bcast_delay",
+        "_ack_deadline", "_rt_desc", "_rt_core", "_handshake_all",
+        "_hs", "_flush_msgs",
     )
 
     def __init__(
@@ -110,15 +143,37 @@ class FlushOperation:
         self._arbiter = arbiter
         self._ideal = self._config.ideal_flush_coordination
         self._invalidate = self._config.flush_mode is FlushMode.CLFLUSH
+        self._tree_mode = (
+            self._config.fanout_topology is FanoutTopology.TREE
+        )
         n = self._config.llc_banks
         self._num_banks = n
+        # Message cost of one logical BankAck.  The arbiter protocol
+        # delivers it to the initiating core only; the all-to-all
+        # strawman announces it to every bank plus the initiator so
+        # each can locally determine completion (n messages per ack,
+        # no PersistCMP).  Timing is identical either way -- the
+        # protocol knob changes accounting, not the event timeline.
+        if self._config.handshake_protocol is HandshakeProtocol.ALL_TO_ALL:
+            self._ack_cost = n
+            self._cmp_msgs = 0
+        else:
+            self._ack_cost = 1
+            self._cmp_msgs = n
         # Inlined address-map arithmetic for the begin() hot loop.
         self._line_shift = self._config.offset_bits
         self._n_mcs = self._config.num_memory_controllers
         self._epoch: Optional[Epoch] = None
-        # Array-indexed per-bank accounting, reset per flush in begin().
+        # Array-indexed per-bank accounting.  Invariant between
+        # flushes: outstanding == 0, pos == 0, sched is None for every
+        # bank (begin() relies on it; _persist_cmp restores it for the
+        # banks the finished flush used).
         self._bank_outstanding = [0] * n
         self._bank_state = bytearray(n)
+        # Idle banks' acks are virtual (counted at begin, arrival folded
+        # into the deadline), so the template plants them directly in
+        # the terminal state; begin() rewinds the flushing banks.
+        self._acked_template = bytes([_ACKED]) * n
         # Per-bank issue schedule: [t_issue, line, write_run, run_pos,
         # in_l1] entries sorted by issue time, walked by _issue_bank.
         self._bank_sched: List[Optional[List[list]]] = [None] * n
@@ -127,10 +182,70 @@ class FlushOperation:
         # lifetime (no per-line callback allocation).
         self._bank_cbs = [partial(self._line_persisted, b) for b in range(n)]
         self._acks_received = 0
+        self._used: List[int] = []
+        self._delivery = None
+        self._bcast_delay = 0
+        # Latest known BankAck arrival time (absolute) for the flush in
+        # flight; _acks_complete honours it when scheduling PersistCMP.
+        self._ack_deadline = 0
+        # Banks in descending round-trip order for the initiating core
+        # (built once -- the core is fixed per arbiter; _rt_core guards
+        # the standalone-construction case).  The idle-ack deadline of
+        # a flush is the first bank of this order that is not flushing.
+        self._rt_desc: List[int] = []
+        self._rt_core: Optional[int] = None
+        self._handshake_all = getattr(machine, "handshake", None)
+        self._hs: HandshakeStats = _NULL_HANDSHAKE
+        self._flush_msgs = 0
 
     @property
     def epoch(self) -> Optional[Epoch]:
         return self._epoch
+
+    # ------------------------------------------------------------------
+    def _setup_core(self, core: int) -> None:
+        """Per-flush latency/accounting context for the initiating core."""
+        if self._handshake_all is not None:
+            self._hs = self._handshake_all[core]
+        if self._tree_mode:
+            tree = self._mesh.flush_tree(core)
+            self._delivery = tree.delivery
+            self._bcast_delay = tree.bcast
+        else:
+            self._delivery = self._mesh.c2b[core]
+            self._bcast_delay = self._mesh.broadcast_from_core(core)
+        if self._rt_core != core:
+            delivery = self._delivery
+            self._rt_desc = sorted(
+                range(self._num_banks), key=lambda b: (-delivery[b], b)
+            )
+            self._rt_core = core
+
+    def _idle_ack_deadline(self, now: int) -> int:
+        """Arrival time of the last idle bank's BankAck for this flush.
+
+        The banks with nothing to flush (everyone not in ``_used``) ack
+        as soon as FlushEpoch reaches them, so each arrives back at
+        ``now + 2 * delivery[bank]`` -- a pure mesh round trip, under
+        the FLAT topology the direct core<->bank distance and under
+        TREE the fanout-tree path-sum (acks physically merge on their
+        way back up the tree).  Those acks are *virtual*: nothing
+        observes one in flight, their message cost is charged at
+        ``begin``, and an idle round trip (at most a cross-chip mesh
+        traversal) is always shorter than any flushing bank's ack,
+        which carries at least one NVRAM write in its path.  Completion
+        is ``max`` over ack arrivals either way, so pre-counting the
+        idle acks and folding this deadline into ``_ack_deadline`` is
+        exact -- and costs zero simulator events per flush.
+        """
+        if self._ideal:
+            return now
+        used = self._used
+        delivery = self._delivery
+        for bank in self._rt_desc:
+            if bank not in used:
+                return now + 2 * delivery[bank]
+        return now
 
     # ------------------------------------------------------------------
     def begin(self, epoch: Epoch) -> None:
@@ -150,7 +265,7 @@ class FlushOperation:
         ideal = self._ideal
         interval = FLUSH_PIPELINE_INTERVAL
         llc_latency = self._config.llc_latency
-        self._acks_received = 0
+        self._setup_core(core)
 
         # Partition the epoch's lines by owning bank.
         num_banks = self._num_banks
@@ -159,16 +274,16 @@ class FlushOperation:
         if len(epoch_lines) == 1:
             self._begin_single(epoch, next(iter(epoch_lines)))
             return
-        per_bank: List[Optional[List[int]]] = [None] * num_banks
+        per_bank: Dict[int, List[int]] = {}
         for line in sorted(epoch_lines):
             bank = (line >> shift) % num_banks
-            bucket = per_bank[bank]
+            bucket = per_bank.get(bank)
             if bucket is None:
                 per_bank[bank] = [line]
             else:
                 bucket.append(line)
 
-        c2b_row = self._mesh.c2b[core]
+        delivery = self._delivery
         b2mc = self._mesh.b2mc
         mcs = machine.mcs
         l1 = machine.l1s[core]
@@ -176,24 +291,34 @@ class FlushOperation:
         # of a lookup call per line in the per-bank loop below.
         l1_resident = l1.dirty_under(epoch_lines, epoch)
         seq = epoch.seq
-        outstanding = self._bank_outstanding
         state = self._bank_state
+        state[:] = self._acked_template
         sched = self._bank_sched
-        pos = self._bank_pos
-        for bank in range(num_banks):
-            outstanding[bank] = 0
-            pos[bank] = 0
-            sched[bank] = None
+        used = self._used
+        used.clear()
+        n_mcs = self._n_mcs
+        for bank in sorted(per_bank):
             lines = per_bank[bank]
-            if not lines:
-                # Step 3 degenerate case: nothing to flush in this bank;
-                # it acks as soon as FlushEpoch arrives (batched with
-                # its equidistant peers after this loop).
-                state[bank] = _ACK_SENT
-                continue
-            hop = 0 if ideal else c2b_row[bank]
+            used.append(bank)
+            hop = 0 if ideal else delivery[bank]
             state[bank] = _ISSUING
             base = now + hop
+            if len(lines) == 1:
+                # One line on this bank -- the dominant shape on
+                # contended runs.  Same schedule, same seq consumption,
+                # minus the batching scaffolding.
+                line = lines[0]
+                in_l1 = line in l1_resident
+                t = base + llc_latency if in_l1 else base
+                mc_id = (line >> shift) % n_mcs
+                arrival = t if ideal else t + b2mc[bank][mc_id]
+                entry = [t, line, None, 0, in_l1]
+                entry[2] = mcs[mc_id].write_single(
+                    arrival, line, core, seq, "data", self._bank_cbs[bank]
+                )
+                sched[bank] = [entry]
+                engine.schedule_call(t - now, self._issue_one, bank)
+                continue
             entries: List[list] = []
             monotone = True
             prev = -1
@@ -236,7 +361,6 @@ class FlushOperation:
                 # Reserve the controller FIFO per (bank -> MC) run; each
                 # line arrives at its issue time plus the bank->MC leg.
                 runs: Dict[int, Tuple[List[int], List[int], List[list]]] = {}
-                n_mcs = self._n_mcs
                 for entry in entries:
                     mc_id = (entry[1] >> shift) % n_mcs
                     run = runs.get(mc_id)
@@ -256,23 +380,27 @@ class FlushOperation:
             sched[bank] = entries
             engine.schedule_call(entries[0][0] - now, self._issue_bank, bank)
 
-        # Empty-bank acks, batched per mesh-distance class: all banks of
-        # a class receive FlushEpoch -- and send their BankAck -- at the
-        # same cycle, so each class is one fanout (one queue entry in
-        # fast mode) instead of a heap event per bank.  Only the final
-        # BankAck of a flush is observable beyond the ack counter, and
-        # it cannot share a cycle with this flush's own walkers'
-        # completions, so delivery order within a class is inert.
-        if self._ideal:
-            empty = [b for b in range(num_banks) if per_bank[b] is None]
-            if empty:
-                engine.schedule_fanout(0, self._bank_ack, empty)
-        else:
-            for hop_lat, group in self._mesh.ack_groups[core]:
-                empty = [b for b in group if per_bank[b] is None]
-                if empty:
-                    engine.schedule_fanout(2 * hop_lat, self._bank_ack,
-                                           empty)
+        # Message accounting (per logical hop, identical in both engine
+        # modes and both topologies): FlushEpoch reaches every bank --
+        # n messages whether delivered point-to-point or down the tree
+        # (the tree has exactly n edges) -- and every idle bank answers
+        # with one BankAck (costed at _ack_cost for the protocol knob).
+        n_empty = num_banks - len(used)
+        hs = self._hs
+        hs.flush_epoch_msgs += num_banks
+        hs.bank_ack_msgs += n_empty * self._ack_cost
+        self._flush_msgs = num_banks + n_empty * self._ack_cost
+
+        # Step 3 degenerate case: the idle banks ack the moment
+        # FlushEpoch arrives.  Those acks are virtual -- pre-counted
+        # here, latest arrival folded into the deadline (see
+        # _idle_ack_deadline) -- so the idle broadcast costs no events.
+        self._acks_received = n_empty
+        self._ack_deadline = self._idle_ack_deadline(now) if n_empty else now
+        if not used:
+            # Every line left the epoch before begin (or the epoch was
+            # empty): the handshake completes on idle acks alone.
+            self._acks_complete()
 
     # ------------------------------------------------------------------
     def _begin_single(self, epoch: Epoch, line: int) -> None:
@@ -295,18 +423,14 @@ class FlushOperation:
         shift = self._line_shift
         bank = (line >> shift) % num_banks
 
-        outstanding = self._bank_outstanding
-        sched = self._bank_sched
-        pos = self._bank_pos
         state = self._bank_state
-        for b in range(num_banks):
-            outstanding[b] = 0
-            pos[b] = 0
-            sched[b] = None
-            state[b] = _ACK_SENT
+        state[:] = self._acked_template
         state[bank] = _ISSUING
+        used = self._used
+        used.clear()
+        used.append(bank)
 
-        t = now + (0 if ideal else self._mesh.c2b[core][bank])
+        t = now + (0 if ideal else self._delivery[bank])
         l1_entry = machine.l1s[core].lookup(line)
         in_l1 = (
             l1_entry is not None
@@ -318,24 +442,57 @@ class FlushOperation:
         mc_id = (line >> shift) % self._n_mcs
         arrival = t if ideal else t + self._mesh.b2mc[bank][mc_id]
         entry = [t, line, None, 0, in_l1]
-        entry[2] = machine.mcs[mc_id].write_batch(
-            [arrival], [line], core, epoch.seq, "data", self._bank_cbs[bank]
+        entry[2] = machine.mcs[mc_id].write_single(
+            arrival, line, core, epoch.seq, "data", self._bank_cbs[bank]
         )
-        sched[bank] = [entry]
-        engine.schedule_call(t - now, self._issue_bank, bank)
+        self._bank_sched[bank] = [entry]
+        engine.schedule_call(t - now, self._issue_one, bank)
 
-        if ideal:
-            empty = [b for b in range(num_banks) if b != bank]
-            if empty:
-                engine.schedule_fanout(0, self._bank_ack, empty)
-        else:
-            for hop_lat, group in self._mesh.ack_groups[core]:
-                empty = [b for b in group if b != bank]
-                if empty:
-                    engine.schedule_fanout(2 * hop_lat, self._bank_ack,
-                                           empty)
+        hs = self._hs
+        hs.flush_epoch_msgs += num_banks
+        hs.bank_ack_msgs += (num_banks - 1) * self._ack_cost
+        self._flush_msgs = num_banks + (num_banks - 1) * self._ack_cost
+
+        # Idle acks, virtualised exactly as in the generic path.
+        self._acks_received = num_banks - 1
+        self._ack_deadline = (
+            self._idle_ack_deadline(now) if num_banks > 1 else now
+        )
 
     # ------------------------------------------------------------------
+    def _issue_one(self, bank: int) -> None:
+        """Single-line bank walk: :meth:`_issue_bank` minus the loop
+        and position bookkeeping, for the dominant one-line-per-bank
+        shape of contended runs.  Same transitions at the same cycle;
+        ``_bank_pos`` stays at its between-flush value of zero.
+        """
+        entry = self._bank_sched[bank][0]
+        epoch = self._epoch
+        machine = self._machine
+        line = entry[1]
+        if machine._untag_line(epoch, line):
+            centry = (machine.l1s[epoch.core_id].lookup(line)
+                      if entry[4] else None)
+            if centry is not None and centry.dirty and centry.epoch is epoch:
+                level_core = epoch.core_id
+            else:
+                centry = machine.llc_banks[bank].lookup(line)
+                if (centry is not None and centry.dirty
+                        and centry.epoch is epoch):
+                    level_core = None
+                else:
+                    centry = None
+                    self._stats.bump("flush_lines_already_inflight")
+            if centry is not None:
+                epoch.inflight_writes += 1
+                entry[2].mark_issued(0, machine.flush_line_transition(
+                    centry, line, self._invalidate, level_core))
+                self._bank_state[bank] = _ISSUE_DONE
+                self._bank_outstanding[bank] = 1
+                return
+        self._bank_state[bank] = _ISSUE_DONE
+        self._schedule_bank_ack(bank)
+
     def _issue_bank(self, bank: int) -> None:
         """Walk the bank's issue schedule at the current cycle.
 
@@ -415,24 +572,52 @@ class FlushOperation:
         here -- the persist check happens once, from the arbiter's
         ``_flush_done``.
         """
+        self._hs.persist_ack_msgs += 1
+        self._flush_msgs += 1
         self._epoch.inflight_writes -= 1
         remaining = self._bank_outstanding[bank] - 1
         self._bank_outstanding[bank] = remaining
         if remaining == 0 and self._bank_state[bank] == _ISSUE_DONE:
             self._schedule_bank_ack(bank)
 
+    def _ack_delay(self, bank: int) -> int:
+        if self._ideal:
+            return 0
+        delivery = self._delivery
+        if delivery is None:
+            # Standalone poking (tests drive the ack path without a
+            # begin()); real flushes always pass through _setup_core.
+            delivery = self._mesh.c2b[self._epoch.core_id]
+        return delivery[bank]
+
     def _schedule_bank_ack(self, bank: int) -> None:
+        """Send the bank's BankAck (step 3), exactly once per flush.
+
+        Without fault injection the transmission is virtual: the
+        arrival time is ``now + delay`` with certainty and no simulator
+        state observes the ack in flight, so delivery folds into the
+        ack count and the arrival deadline without consuming an event
+        -- :meth:`_acks_complete` replays the latest arrival when it
+        schedules PersistCMP.  Under fault injection arrival times
+        depend on drop/detour draws, so the ack travels as a real event
+        through :meth:`_send_bank_ack`.
+        """
         if self._bank_state[bank] >= _ACK_SENT:
             return
-        self._bank_state[bank] = _ACK_SENT
-        if self._ideal:
-            delay = 0
-        else:
-            delay = self._mesh.c2b[self._epoch.core_id][bank]
+        delay = self._ack_delay(bank)
         if self._faults is not None:
+            self._bank_state[bank] = _ACK_SENT
             self._send_bank_ack(bank, delay, 0)
             return
-        self._engine.schedule_call(delay, self._bank_ack, bank)
+        self._bank_state[bank] = _ACKED
+        self._hs.bank_ack_msgs += self._ack_cost
+        self._flush_msgs += self._ack_cost
+        arrival = self._engine.now + delay
+        if arrival > self._ack_deadline:
+            self._ack_deadline = arrival
+        self._acks_received += 1
+        if self._acks_received == self._num_banks:
+            self._acks_complete()
 
     def _send_bank_ack(self, bank: int, delay: int, attempt: int) -> None:
         """Fault-aware BankAck transmission with bounded retry.
@@ -445,7 +630,12 @@ class FlushOperation:
         :meth:`_schedule_bank_ack` serialises the chain), which is what
         lets :meth:`_ack_timeout` treat any other state as a
         :class:`ProtocolError`.
+
+        Every transmission counts toward the message totals -- dropped
+        acks were sent; the network lost them.
         """
+        self._hs.bank_ack_msgs += self._ack_cost
+        self._flush_msgs += self._ack_cost
         faults = self._faults
         epoch = self._epoch
         core = epoch.core_id
@@ -475,13 +665,11 @@ class FlushOperation:
             )
         if self._arbiter is not None:
             self._arbiter.note_ack_retry()
-        if self._ideal:
-            delay = 0
-        else:
-            delay = self._mesh.c2b[self._epoch.core_id][bank]
-        self._send_bank_ack(bank, delay, attempt + 1)
+        self._send_bank_ack(bank, self._ack_delay(bank), attempt + 1)
 
     def _bank_ack(self, bank: int) -> None:
+        """A BankAck arrival event (fault-injected transmissions only;
+        fault-free acks deliver virtually in :meth:`_schedule_bank_ack`)."""
         if self._bank_state[bank] == _ACKED:
             raise ProtocolError(
                 f"bank {bank} sent a second BankAck for {self._epoch}"
@@ -489,22 +677,40 @@ class FlushOperation:
         self._bank_state[bank] = _ACKED
         self._acks_received += 1
         if self._acks_received == self._num_banks:
-            # Step 4: PersistCMP broadcast.
-            bcast = (0 if self._ideal else
-                     self._mesh.broadcast_from_core(self._epoch.core_id))
-            self._engine.schedule_call(bcast, self._persist_cmp)
+            self._acks_complete()
+
+    def _acks_complete(self) -> None:
+        # Step 4: PersistCMP broadcast (zero messages under all-to-all,
+        # where every bank saw every ack and completion is determined
+        # locally; the completion event itself fires identically).  The
+        # last ack may be virtual -- its arrival recorded only in the
+        # deadline -- so the broadcast leaves when the deadline passes,
+        # not necessarily at the cycle this ran.
+        self._hs.persist_cmp_msgs += self._cmp_msgs
+        self._flush_msgs += self._cmp_msgs
+        engine = self._engine
+        lag = self._ack_deadline - engine.now
+        if lag < 0:
+            lag = 0
+        bcast = 0 if self._ideal else self._bcast_delay
+        engine.schedule_call(lag + bcast, self._persist_cmp)
 
     def _persist_cmp(self) -> None:
         epoch = self._epoch
         epoch.flush_active = False
         if epoch.lines:
             raise RuntimeError(f"{epoch} finished flush with lines remaining")
+        self._hs.note_flush(self._flush_msgs)
         # Recycle before notifying: on_done re-pumps the arbiter, which
         # may immediately begin() the next flush on this same object.
+        # Only the banks this flush actually used need their slots
+        # restored (outstanding is already back to zero by accounting).
         self._epoch = None
         sched = self._bank_sched
-        for bank in range(self._num_banks):
+        pos = self._bank_pos
+        for bank in self._used:
             sched[bank] = None
+            pos[bank] = 0
         self._on_done(epoch)
 
 

@@ -43,6 +43,7 @@ import cProfile
 import hashlib
 import io
 import json
+import math
 import os
 import platform
 import pstats
@@ -62,6 +63,7 @@ from repro.harness.experiments import (
 from repro.harness.runner import Scale
 from repro.sim.config import (
     BarrierDesign,
+    HandshakeProtocol,
     MachineConfig,
     PersistencyModel,
 )
@@ -175,6 +177,25 @@ _MULTICORE_DIGEST_CONFIGS = (
     (8, BarrierDesign.LB),
     (8, BarrierDesign.LB_PP),
 )
+
+# Core-count scaling sweep (``--only scaling``): pingpong and the
+# sharded-serving migration workload at {4..64} cores x {LB, LB++},
+# recording handshake messages-per-flush and wall-clock ops/s, plus an
+# all-to-all accounting contrast.  Transaction counts shrink with core
+# count so every point stays in the tens-of-milliseconds band (the
+# messages-per-flush statistic converges after a handful of flushes per
+# core; the wall-clock curve is indicative, the careful A/B lives in
+# the headline runs).
+_SCALING_CORES = (4, 8, 16, 32, 64)
+_SCALING_DESIGNS = (BarrierDesign.LB, BarrierDesign.LB_PP)
+_SCALING_TXN_BUDGET = 768       # ~transactions x cores per point
+_SCALING_TXN_MIN = 12
+_SCALING_SHARDED_KEYS = 1024
+_SCALING_MIGRATE_FRACTION = 0.2
+# Log-log slope acceptance bands: the arbiter's per-flush message count
+# must grow ~linearly in cores, the all-to-all strawman ~quadratically.
+_SCALING_LINEAR_MAX_SLOPE = 1.35
+_SCALING_QUADRATIC_MIN_SLOPE = 1.65
 
 
 @contextmanager
@@ -1003,6 +1024,251 @@ def run_crash_sweep_bench(seed: int = 1) -> dict:
             "faults": faults}
 
 
+# ----------------------------------------------------------------------
+# Core-count scaling sweep (``--only scaling``)
+# ----------------------------------------------------------------------
+def parse_cores(text: str) -> Tuple[int, ...]:
+    """Validate a ``--cores`` list: powers of two between 2 and 64.
+
+    Raises :class:`argparse.ArgumentTypeError` with a usable message on
+    anything else, so both ``python -m repro bench`` front-ends report
+    the same helpful error.
+    """
+    try:
+        values = tuple(int(t) for t in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--cores wants a comma-separated list of core counts "
+            f"(e.g. 4,8,16,32,64), got {text!r}"
+        )
+    for v in values:
+        if v < 2 or v > 64 or v & (v - 1):
+            raise argparse.ArgumentTypeError(
+                f"--cores values must be powers of two between 2 and 64 "
+                f"(e.g. 4,8,16,32,64), got {v}"
+            )
+    if not values:
+        raise argparse.ArgumentTypeError("--cores list is empty")
+    return tuple(sorted(set(values)))
+
+
+def _scaling_txns(cores: int) -> int:
+    """Per-thread transactions for one sweep point (bounded total work)."""
+    return max(_SCALING_TXN_MIN, _SCALING_TXN_BUDGET // cores)
+
+
+def _sharded_setup(
+    seed: int, transactions: int, num_cores: int,
+    barrier_design: BarrierDesign = BarrierDesign.LB_PP,
+    **config_overrides,
+) -> Tuple[MachineConfig, List[list]]:
+    """Sharded-serving configuration: one shard per core, cross-shard
+    ownership migration driving inter-thread handshake traffic."""
+    config = MachineConfig.tiny(
+        persistency=PersistencyModel.BEP,
+        barrier_design=barrier_design,
+        num_cores=num_cores,
+        llc_banks=num_cores,
+        mesh_rows=2,
+        **config_overrides,
+    )
+    programs = [
+        list(
+            make_benchmark(
+                "sharded_serving", thread_id=tid, seed=seed,
+                line_size=config.line_size,
+                num_keys=_SCALING_SHARDED_KEYS,
+                num_shards=num_cores,
+                migrate_fraction=_SCALING_MIGRATE_FRACTION,
+            ).ops(transactions)
+        )
+        for tid in range(config.num_cores)
+    ]
+    return config, programs
+
+
+def handshake_summary(machine: Multicore) -> Dict[str, float]:
+    """The machine-wide handshake totals one sweep point records."""
+    hs = machine.handshake_counters()
+    return {
+        "flushes": hs["flushes"],
+        "flush_epoch_msgs": hs["flush_epoch_msgs"],
+        "bank_ack_msgs": hs["bank_ack_msgs"],
+        "persist_ack_msgs": hs["persist_ack_msgs"],
+        "persist_cmp_msgs": hs["persist_cmp_msgs"],
+        "idt_notify_msgs": hs["idt_notify_msgs"],
+        "total_msgs": hs["total_msgs"],
+        "mean_flush_msgs": round(hs["mean_flush_msgs"], 2),
+        "max_flush_msgs": hs["max_flush_msgs"],
+    }
+
+
+def _scaling_point(config: MachineConfig, programs: List[list]) -> dict:
+    """Run one sweep point on the fast engine; time it and read the
+    handshake counters off the same run."""
+    n_ops = sum(len(p) for p in programs)
+    machine = Multicore(config)
+    start = time.perf_counter()
+    machine.run(programs)
+    wall = time.perf_counter() - start
+    return {
+        "ops": n_ops,
+        "wall_seconds": round(wall, 4),
+        "ops_per_sec": round(n_ops / wall, 1) if wall else None,
+        "handshake": handshake_summary(machine),
+    }
+
+
+def handshake_parity(config: MachineConfig,
+                     programs: List[list]) -> Dict[str, object]:
+    """Fast-vs-reference digest *and* handshake-counter comparison.
+
+    The handshake counters are digest-invisible by design (they are
+    bumped from batched fast paths), so the digest alone cannot catch a
+    fast path that miscounts messages -- this is the explicit parity
+    check, the same shape as :func:`conflict_counters` for PR 4's
+    conflict path.
+    """
+
+    def one(slow: bool) -> Tuple[str, dict]:
+        with reference_mode(slow):
+            machine = Multicore(config)
+            result = machine.run(programs)
+        return state_digest(machine, result), machine.handshake_counters()
+
+    fast_digest, fast_hs = one(False)
+    ref_digest, ref_hs = one(True)
+    return {
+        "digest_match": fast_digest == ref_digest,
+        "counters_match": fast_hs == ref_hs,
+        "counters": handshake_summary_from(fast_hs),
+    }
+
+
+def handshake_summary_from(hs: dict) -> Dict[str, float]:
+    """Like :func:`handshake_summary` but over an already-read dict."""
+    return {
+        "flushes": hs["flushes"],
+        "total_msgs": hs["total_msgs"],
+        "mean_flush_msgs": round(hs["mean_flush_msgs"], 2),
+        "max_flush_msgs": hs["max_flush_msgs"],
+    }
+
+
+def _loglog_slope(xs: List[float], ys: List[float]) -> Optional[float]:
+    """Least-squares slope of log(y) against log(x); None under 3 points."""
+    if len(xs) < 3:
+        return None
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    den = sum((a - mx) ** 2 for a in lx)
+    if not den:
+        return None
+    return sum((a - mx) * (b - my) for a, b in zip(lx, ly)) / den
+
+
+def run_scaling_bench(seed: int = 1,
+                      cores: Tuple[int, ...] = _SCALING_CORES) -> dict:
+    """The core-count scaling sweep.
+
+    Measures the paper's O(n) headline directly: per-flush handshake
+    message counts and wall-clock ops/s at each core count for pingpong
+    (contended mailbox handoff) and sharded serving (cross-shard
+    ownership migration), under both barrier designs.  An all-to-all
+    accounting contrast (same timeline, every ack announced to every
+    bank) provides the quadratic strawman; a log-log slope fit asserts
+    the measured complexity, and the largest point is re-run on the
+    reference engine with digest + handshake-counter parity checked.
+    """
+    cores = tuple(sorted(cores))
+    record: dict = {
+        "cores": list(cores),
+        "pingpong": {},
+        "sharded_serving": {},
+        "all_to_all": {},
+    }
+
+    for design in _SCALING_DESIGNS:
+        rows: Dict[str, dict] = {}
+        for n in cores:
+            txns = _scaling_txns(n)
+            config, programs = _multicore_setup(
+                seed, txns, num_cores=n, barrier_design=design)
+            point = _scaling_point(config, programs)
+            point["transactions"] = txns
+            rows[str(n)] = point
+        record["pingpong"][design.value] = rows
+
+    sharded_rows: Dict[str, dict] = {}
+    for n in cores:
+        txns = max(_SCALING_TXN_MIN, _scaling_txns(n) // 2)
+        config, programs = _sharded_setup(seed, txns, n)
+        point = _scaling_point(config, programs)
+        point["transactions"] = txns
+        sharded_rows[str(n)] = point
+    record["sharded_serving"][BarrierDesign.LB_PP.value] = sharded_rows
+
+    # The quadratic strawman: identical timeline, O(n^2) accounting.
+    a2a_rows: Dict[str, dict] = {}
+    for n in cores:
+        txns = _scaling_txns(n)
+        config, programs = _multicore_setup(
+            seed, txns, num_cores=n, barrier_design=BarrierDesign.LB_PP)
+        config = config.with_(
+            handshake_protocol=HandshakeProtocol.ALL_TO_ALL)
+        point = _scaling_point(config, programs)
+        point["transactions"] = txns
+        a2a_rows[str(n)] = point
+    record["all_to_all"][BarrierDesign.LB_PP.value] = a2a_rows
+
+    arb = record["pingpong"][BarrierDesign.LB_PP.value]
+    xs = [float(n) for n in cores]
+    arb_ys = [arb[str(n)]["handshake"]["mean_flush_msgs"] for n in cores]
+    a2a_ys = [a2a_rows[str(n)]["handshake"]["mean_flush_msgs"]
+              for n in cores]
+    arb_slope = _loglog_slope(xs, arb_ys)
+    a2a_slope = _loglog_slope(xs, a2a_ys)
+    record["slopes"] = {
+        "arbiter": round(arb_slope, 3) if arb_slope is not None else None,
+        "all_to_all": round(a2a_slope, 3) if a2a_slope is not None else None,
+        "linear_ok": (arb_slope < _SCALING_LINEAR_MAX_SLOPE
+                      if arb_slope is not None else None),
+        "quadratic_ok": (a2a_slope > _SCALING_QUADRATIC_MIN_SLOPE
+                         if a2a_slope is not None else None),
+    }
+
+    # Parity at the largest point: 64-core digest + message counters
+    # must match fast vs reference.
+    top = cores[-1]
+    config, programs = _multicore_setup(
+        seed, _scaling_txns(top), num_cores=top,
+        barrier_design=BarrierDesign.LB_PP)
+    parity = handshake_parity(config, programs)
+    parity["cores"] = top
+    record["parity"] = parity
+
+    from repro.harness.report import scaling_table
+
+    print(f"[bench] scaling sweep (pingpong + sharded_serving, "
+          f"cores {','.join(str(n) for n in cores)}):")
+    for line in scaling_table(record).render(precision=1).splitlines():
+        print(f"[bench]   {line}")
+    slopes = record["slopes"]
+    if slopes["arbiter"] is not None:
+        print(f"[bench]   log-log slope: arbiter {slopes['arbiter']:.2f} "
+              f"(~linear: {'OK' if slopes['linear_ok'] else 'FAIL'}), "
+              f"all-to-all {slopes['all_to_all']:.2f} "
+              f"(~quadratic: {'OK' if slopes['quadratic_ok'] else 'FAIL'})")
+    print(f"[bench]   parity @ {top} cores: digest "
+          f"{'MATCH' if parity['digest_match'] else 'MISMATCH'}, "
+          f"handshake counters "
+          f"{'MATCH' if parity['counters_match'] else 'MISMATCH'}")
+    return record
+
+
 def run_profile(seed: int = 1,
                 transactions: int = _SINGLE_RUN_TRANSACTIONS,
                 output: str = DEFAULT_OUTPUT, top: int = 30,
@@ -1140,6 +1406,22 @@ def _headline(record: dict) -> dict:
                     "fast"),
                 "speedup": row.get("speedup"),
             }
+    scaling = record.get("scaling")
+    if scaling:
+        cores = scaling.get("cores") or []
+        top = str(cores[-1]) if cores else None
+        arb = ((scaling.get("pingpong") or {})
+               .get(BarrierDesign.LB_PP.value) or {})
+        top_row = arb.get(top) or {}
+        entry["scaling"] = {
+            "max_cores": cores[-1] if cores else None,
+            "ops_per_sec_fast": top_row.get("ops_per_sec"),
+            "mean_flush_msgs": (top_row.get("handshake") or {}).get(
+                "mean_flush_msgs"),
+            "arbiter_slope": (scaling.get("slopes") or {}).get("arbiter"),
+            "all_to_all_slope": (scaling.get("slopes") or {}).get(
+                "all_to_all"),
+        }
     million = record.get("million_run")
     if million:
         entry["million_run"] = {
@@ -1214,6 +1496,19 @@ def digests_ok(record: dict) -> bool:
     million = record.get("million_run")
     if million and not million.get("finished"):
         return False
+    scaling = record.get("scaling")
+    if scaling:
+        parity = scaling.get("parity") or {}
+        if not parity.get("digest_match") or not parity.get(
+                "counters_match"):
+            return False
+        slopes = scaling.get("slopes") or {}
+        # None means too few points for a fit (CI smoke); only an
+        # explicit False fails.
+        if slopes.get("linear_ok") is False:
+            return False
+        if slopes.get("quadratic_ok") is False:
+            return False
     for matrix in ("digests", "digests_multicore", "crash_recovery"):
         for row in (record.get(matrix) or {}).values():
             if not row.get("match"):
@@ -1234,16 +1529,24 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
               transactions: Optional[int] = None, profile: bool = False,
               sweep: bool = True, workload: Optional[str] = None,
               only: Optional[str] = None, profile_top: int = 30,
-              million: bool = True) -> dict:
+              million: bool = True,
+              cores: Optional[Tuple[int, ...]] = None) -> dict:
     """Run the benchmark families and write the report.
 
     ``only`` restricts the run to one bench family (``"single"``,
-    ``"flush"``, ``"multicore"``, ``"serving"``, or ``"crash"`` -- the
-    exhaustive crash-point sweeps plus fault injection) for CI smoke
-    jobs; the full matrix, crash-recovery, million-transaction, and
-    sweep-executor sections run only in the unrestricted mode.
-    ``--check-digests`` still works in restricted modes --
-    :func:`digests_ok` checks whatever sections are present.
+    ``"flush"``, ``"multicore"``, ``"serving"``, ``"scaling"`` -- the
+    core-count sweep -- or ``"crash"`` -- the exhaustive crash-point
+    sweeps plus fault injection) for CI smoke jobs; the full matrix,
+    crash-recovery, million-transaction, and sweep-executor sections
+    run only in the unrestricted mode.  A restricted run regenerates
+    only its own section: every other family present in the existing
+    output file is carried forward unchanged, so ``--only`` never ages
+    other families out of ``BENCH_sweep.json``.  ``--check-digests``
+    still works in restricted modes -- :func:`digests_ok` checks
+    whatever sections are present (carried-forward sections matched
+    when they were generated).  ``cores`` overrides the scaling sweep's
+    core counts (the ``--cores`` flag, validated by
+    :func:`parse_cores`).
     """
     single_txns = (transactions if transactions is not None
                    else _SINGLE_RUN_TRANSACTIONS)
@@ -1276,6 +1579,9 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
     if only in (None, "serving"):
         record["serving_run"] = run_serving_bench(
             seed=seed, transactions=serving_txns)
+    if only in (None, "scaling"):
+        record["scaling"] = run_scaling_bench(
+            seed=seed, cores=cores or _SCALING_CORES)
     if only in (None, "crash"):
         record["crash_sweep"] = run_crash_sweep_bench(seed=seed)
     if only is None:
@@ -1283,6 +1589,18 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
         record["crash_recovery"] = crash_recovery_matrix(seed=seed)
         if million:
             record["million_run"] = run_million_bench(seed=seed)
+    if only is not None and path.exists():
+        # Restricted run: carry every section this run did not
+        # regenerate forward from the existing file, so ``--only X``
+        # refreshes one family instead of wiping the others.
+        try:
+            old = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            old = {}
+        if isinstance(old, dict):
+            for key, value in old.items():
+                if key not in record and key != "trajectory":
+                    record[key] = value
     record["trajectory"] = _trajectory(path)
     if sweep and only is None:
         record["sweep"] = run_sweep_bench(jobs=jobs, seed=seed)
@@ -1328,13 +1646,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {_FLUSH_RUN_BENCHMARK})")
     parser.add_argument("--only",
                         choices=("single", "flush", "multicore", "serving",
-                                 "crash"),
+                                 "scaling", "crash"),
                         default=None,
                         help="run just one bench family (skips the "
                              "matrix, crash-recovery, million, and sweep "
-                             "sections; 'crash' runs the exhaustive "
-                             "crash-point sweeps and fault-injection "
-                             "checks)")
+                             "sections; 'scaling' runs the core-count "
+                             "sweep, 'crash' the exhaustive crash-point "
+                             "sweeps and fault-injection checks)")
+    parser.add_argument("--cores", type=parse_cores, default=None,
+                        metavar="N,N,...",
+                        help="core counts for the scaling sweep: powers "
+                             "of two between 2 and 64 "
+                             "(default 4,8,16,32,64)")
     parser.add_argument("--check-digests", action="store_true",
                         help="exit nonzero unless every fast-vs-reference "
                              "digest and crash-recovery verdict matches")
@@ -1345,7 +1668,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        transactions=args.transactions, profile=args.profile,
                        sweep=not args.no_sweep, workload=args.workload,
                        only=args.only, profile_top=args.profile_top,
-                       million=not args.no_million)
+                       million=not args.no_million, cores=args.cores)
     if args.check_digests and not digests_ok(record):
         print("[bench] ERROR: fast/reference digest mismatch")
         return 1

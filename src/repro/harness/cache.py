@@ -35,6 +35,13 @@ History:
   digest-invisible by contract, but the drain path it replaces is the
   per-op hot loop for every store-heavy run, so cached summaries from
   the pre-fast-forward code no longer certify the current simulator.
+* ``sweep-v7`` -- virtualised handshake broadcast legs (BankAck
+  delivery folded into a count + deadline, PersistCMP and idle-bank
+  FlushEpoch legs made analytic) and the single-line MC write path.
+  Event *timelines* are digest-identical, but the resident event
+  population differs, so any stat keyed off queue shape -- and every
+  fault-injected run, which keeps real per-ack events -- must be
+  re-certified under the new code.
 """
 
 from __future__ import annotations
@@ -53,7 +60,7 @@ from repro.sim.config import MachineConfig
 
 # Bump whenever a simulator change can alter run results; every cached
 # entry keyed under the old salt becomes unreachable.
-CODE_VERSION = "sweep-v6"
+CODE_VERSION = "sweep-v7"
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

@@ -84,6 +84,35 @@ class FigureTable:
         return "\n".join(lines)
 
 
+def scaling_table(record: Dict) -> FigureTable:
+    """Render a ``scaling`` bench family as a per-core-count table.
+
+    One row per core count; columns are the mean handshake messages per
+    flush for the arbiter design (pingpong and sharded serving) and the
+    all-to-all strawman, plus pingpong fast-engine throughput.  Means
+    across core counts would be meaningless for a scaling curve, so the
+    table carries no summary row.
+    """
+    lbpp = "LB++"
+    pingpong = record["pingpong"][lbpp]
+    sharded = record["sharded_serving"][lbpp]
+    a2a = record["all_to_all"][lbpp]
+    table = FigureTable(
+        "msgs/flush (mean)",
+        ["arbiter", "sharded", "all-to-all", "ops/s"],
+        summary="none",
+    )
+    for n in record["cores"]:
+        key = str(n)
+        table.add_row(f"{n} cores", [
+            pingpong[key]["handshake"]["mean_flush_msgs"],
+            sharded[key]["handshake"]["mean_flush_msgs"],
+            a2a[key]["handshake"]["mean_flush_msgs"],
+            pingpong[key]["ops_per_sec"],
+        ])
+    return table
+
+
 def normalize_rows(
     raw: Dict[str, Dict[str, float]],
     baseline_column: str,

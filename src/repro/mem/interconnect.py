@@ -6,11 +6,87 @@ message latency analytically: Manhattan-distance hop count times
 per-hop latency plus router traversals.  Tiles hold a core and its
 co-located LLC bank; memory controllers sit on the chip corners, as in
 Figure 2.
+
+Latency tables are *lazy*: a 64-core machine has 64x64 core/bank/core
+pairs per table, but any one run touches only the rows of the cores that
+actually flush, so each per-endpoint row materializes on first use and
+is cached as an immutable tuple.  Hot paths index ``mesh.c2b[core][bank]``
+exactly as they did when the tables were eager lists-of-lists.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Iterator
+
 from repro.sim.config import MachineConfig
+
+
+class _LazyRows:
+    """List-of-rows lookalike whose rows materialize on first index.
+
+    ``build(i)`` produces row ``i`` (any indexable value); the result is
+    cached forever.  Iteration materializes everything, so cold paths
+    that genuinely want the full table (tests, debug dumps) still work.
+    """
+
+    __slots__ = ("_rows", "_build")
+
+    def __init__(self, count: int, build: Callable[[int], object]) -> None:
+        self._rows: list = [None] * count
+        self._build = build
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int):
+        row = self._rows[index]
+        if row is None:
+            row = self._rows[index] = self._build(index)
+        return row
+
+    def __iter__(self) -> Iterator:
+        for i in range(len(self._rows)):
+            yield self[i]
+
+
+class FlushTree:
+    """A core's hierarchical fanout tree over the LLC banks.
+
+    Banks are sorted by ``(core->bank latency, bank id)`` and arranged
+    as a complete ``degree``-ary tree rooted at the core's tile: the
+    first ``degree`` banks are the root's children (edge latency = the
+    direct core->bank mesh distance), and the bank at sorted position
+    ``i >= degree`` hangs off the bank at position ``i // degree - 1``
+    (edge latency = the tile-to-tile mesh distance between the two
+    banks).  ``delivery[bank]`` is the path-sum arrival offset of a
+    FlushEpoch routed down the tree; the BankAck return path is
+    symmetric, so a round trip costs ``2 * delivery[bank]``.
+
+    With ``n <= degree`` every bank is a root child and the tree
+    degenerates to the flat star: ``delivery`` equals the direct
+    core->bank row, which is what makes tree and flat mode
+    cycle-for-cycle identical on small machines.
+    """
+
+    __slots__ = ("core", "order", "delivery", "bcast")
+
+    def __init__(self, mesh: "Mesh", core: int, degree: int) -> None:
+        self.core = core
+        row = mesh.c2b[core]
+        order = sorted(range(len(row)), key=lambda b: (row[b], b))
+        self.order = tuple(order)
+        n = len(order)
+        delivery = [0] * n  # indexed by bank id
+        for pos, bank in enumerate(order):
+            if pos < degree:
+                delivery[bank] = row[bank]
+            else:
+                parent = order[pos // degree - 1]
+                delivery[bank] = delivery[parent] + mesh.latency(
+                    mesh.tile_of_bank(parent), mesh.tile_of_bank(bank)
+                )
+        self.delivery = tuple(delivery)
+        self.bcast = max(delivery) if delivery else 0
 
 
 class Mesh:
@@ -23,49 +99,24 @@ class Mesh:
         self._hop = config.hop_latency
         self._router = config.router_latency
         self._mc_tiles = self._corner_tiles(config.num_memory_controllers)
-        # Latency caches: meshes are small, so precompute everything.
-        tiles = self.rows * self.cols
-        self._tile_lat = [
-            [self._latency_between(a, b) for b in range(tiles)]
-            for a in range(tiles)
-        ]
-        # Endpoint-indexed views of the same table, for hot paths that
-        # would otherwise chain three method calls per message.
         cores = config.num_cores
         banks = config.llc_banks
         mcs = config.num_memory_controllers
-        self.c2b = [
-            [self.core_to_bank(c, b) for b in range(banks)]
-            for c in range(cores)
-        ]
-        self.b2mc = [
-            [self.bank_to_mc(b, m) for m in range(mcs)]
-            for b in range(banks)
-        ]
-        self.c2mc = [
-            [self.core_to_mc(c, m) for m in range(mcs)]
-            for c in range(cores)
-        ]
-        self.c2c = [
-            [self.core_to_core(a, b) for b in range(cores)]
-            for a in range(cores)
-        ]
-        # Equidistance classes of the core->bank table: for each core,
-        # ``(latency, [banks])`` pairs in ascending latency, banks
-        # ascending within a class.  Broadcast-style handshakes (the
-        # flush protocol's FlushEpoch/BankAck legs) deliver to every
-        # bank of a class at one cycle, so each class can dispatch as a
-        # single batched fanout instead of one heap event per bank.
-        self.ack_groups: list[list[tuple[int, list[int]]]] = []
-        for c in range(cores):
-            by_lat: dict[int, list[int]] = {}
-            for b in range(banks):
-                by_lat.setdefault(self.c2b[c][b], []).append(b)
-            self.ack_groups.append(sorted(by_lat.items()))
+        # Endpoint-indexed latency rows, lazily materialized (see module
+        # docstring).  Rows are tuples: indexable, immutable, compact.
+        self.c2b = _LazyRows(cores, lambda c: tuple(
+            self._core_to_bank(c, b) for b in range(banks)))
+        self.b2mc = _LazyRows(banks, lambda b: tuple(
+            self._bank_to_mc(b, m) for m in range(mcs)))
+        self.c2mc = _LazyRows(cores, lambda c: tuple(
+            self._core_to_mc(c, m) for m in range(mcs)))
+        self.c2c = _LazyRows(cores, lambda a: tuple(
+            self._core_to_core(a, b) for b in range(cores)))
         # Worst-case core->bank latency per core: the broadcast cost of
         # the flush handshake's FlushEpoch/PersistCMP legs, asked for
         # once per epoch flush.
-        self._bcast = [max(row) for row in self.c2b]
+        self._bcast = _LazyRows(cores, lambda c: max(self.c2b[c]))
+        self._flush_trees: dict[int, FlushTree] = {}
 
     # ------------------------------------------------------------------
     # Geometry
@@ -102,27 +153,38 @@ class Mesh:
     # ------------------------------------------------------------------
     # Latency
     # ------------------------------------------------------------------
-    def _latency_between(self, tile_a: int, tile_b: int) -> int:
+    def latency(self, tile_a: int, tile_b: int) -> int:
+        """One-way message latency between two tiles."""
         ra, ca = self._coords(tile_a)
         rb, cb = self._coords(tile_b)
         hops = abs(ra - rb) + abs(ca - cb)
         return hops * self._hop + (hops + 1) * self._router
 
-    def latency(self, tile_a: int, tile_b: int) -> int:
-        """One-way message latency between two tiles."""
-        return self._tile_lat[tile_a][tile_b]
-
-    def core_to_bank(self, core_id: int, bank_id: int) -> int:
+    def _core_to_bank(self, core_id: int, bank_id: int) -> int:
         return self.latency(self.tile_of_core(core_id), self.tile_of_bank(bank_id))
 
-    def bank_to_mc(self, bank_id: int, mc_id: int) -> int:
+    def _bank_to_mc(self, bank_id: int, mc_id: int) -> int:
         return self.latency(self.tile_of_bank(bank_id), self.tile_of_mc(mc_id))
 
-    def core_to_mc(self, core_id: int, mc_id: int) -> int:
+    def _core_to_mc(self, core_id: int, mc_id: int) -> int:
         return self.latency(self.tile_of_core(core_id), self.tile_of_mc(mc_id))
 
-    def core_to_core(self, core_a: int, core_b: int) -> int:
+    def _core_to_core(self, core_a: int, core_b: int) -> int:
         return self.latency(self.tile_of_core(core_a), self.tile_of_core(core_b))
+
+    # Public single-pair lookups route through the cached rows so a
+    # mixed caller population still shares one materialization.
+    def core_to_bank(self, core_id: int, bank_id: int) -> int:
+        return self.c2b[core_id][bank_id]
+
+    def bank_to_mc(self, bank_id: int, mc_id: int) -> int:
+        return self.b2mc[bank_id][mc_id]
+
+    def core_to_mc(self, core_id: int, mc_id: int) -> int:
+        return self.c2mc[core_id][mc_id]
+
+    def core_to_core(self, core_a: int, core_b: int) -> int:
+        return self.c2c[core_a][core_b]
 
     def detour_latency(self, extra_hops: int) -> int:
         """Latency added by rerouting a message ``extra_hops`` extra
@@ -141,3 +203,11 @@ class Mesh:
         (steps 1 and 4 of the Figure 8 handshake).
         """
         return self._bcast[core_id]
+
+    def flush_tree(self, core_id: int) -> FlushTree:
+        """The core's hierarchical fanout tree (built once, cached)."""
+        tree = self._flush_trees.get(core_id)
+        if tree is None:
+            tree = FlushTree(self, core_id, self._config.fanout_degree)
+            self._flush_trees[core_id] = tree
+        return tree

@@ -244,6 +244,57 @@ class _WriteRun:
             mc._engine.schedule_call(self._dones[pos] - time, self.step)
 
 
+class _WriteOne:
+    """A reserved FIFO slot for a single flush write.
+
+    Specialisation of :class:`_WriteRun` for ``k == 1`` runs -- the
+    dominant shape on contended multicores, where each epoch scatters a
+    handful of lines one-per-bank.  Same reservation rule, same commit
+    event, same ``mark_issued`` surface; no per-run list scaffolding.
+    """
+
+    __slots__ = (
+        "_mc", "_line", "_done", "_value", "_issued",
+        "_core_id", "_epoch_seq", "_kind", "_on_line",
+    )
+
+    def __init__(
+        self,
+        mc: "MemoryController",
+        line: int,
+        done: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        on_line: Callable[[int], None],
+    ) -> None:
+        self._mc = mc
+        self._line = line
+        self._done = done
+        self._value: Optional[Dict[int, object]] = None
+        self._issued = False
+        self._core_id = core_id
+        self._epoch_seq = epoch_seq
+        self._kind = kind
+        self._on_line = on_line
+
+    def mark_issued(self, pos: int,
+                    values: Optional[Dict[int, object]]) -> None:
+        self._issued = True
+        self._value = values
+
+    def step(self) -> None:
+        if self._issued:
+            mc = self._mc
+            mc._account_write(self._kind)
+            mc._image.commit(
+                self._done, self._line, self._core_id, self._epoch_seq,
+                self._kind, self._value,
+            )
+            self._value = None
+            self._on_line(self._done)
+
+
 class MemoryController:
     """One NVRAM memory controller: a FIFO server with fixed latencies."""
 
@@ -469,6 +520,41 @@ class MemoryController:
         run = _WriteRun(self, lines, dones, core_id, epoch_seq, kind,
                         on_line)
         self._engine.schedule_call(dones[0] - self._engine.now, run.step)
+        return run
+
+    def write_single(
+        self,
+        arrival: int,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        kind: str,
+        on_line: Callable[[int], None],
+    ) -> _WriteOne:
+        """Reserve one FIFO write slot: :meth:`write_batch` for ``k=1``.
+
+        Identical reservation arithmetic and commit event, minus the
+        per-run list scaffolding; both engine modes take this path, so
+        fast/reference schedules stay in lockstep.
+        """
+        config = self._config
+        busy = self._busy_until
+        start = arrival if arrival > busy else busy
+        if self._faults is not None:
+            start += self._fault_stall()
+        self._busy_until = start + config.mc_write_occupancy
+        wait = start - arrival
+        if self._fast:
+            self._qw_sum += wait
+            self._qw_count += 1
+            if wait > self._qw_max:
+                self._qw_max = wait
+        else:
+            self._stats.record("queue_wait", wait)
+        done = start + config.nvram_write_latency
+        run = _WriteOne(self, line, done, core_id, epoch_seq, kind,
+                        on_line)
+        self._engine.schedule_call(done - self._engine.now, run.step)
         return run
 
     def write_log(

@@ -278,6 +278,104 @@ class Engine:
         finally:
             self.advance_holds -= 1
 
+    def schedule_fanout_groups(
+        self,
+        groups: list,
+        callback: Callable[..., None],
+    ) -> None:
+        """Schedule several same-callback fanouts with one heap entry.
+
+        ``groups`` is a list of ``(delay, items)`` pairs with
+        non-descending, non-negative delays -- the shape of a broadcast
+        whose receivers sit at different mesh distances.  Semantically
+        identical to calling :meth:`schedule_fanout` once per group (one
+        sequence number per item, allocated synchronously here), but in
+        fast mode the *entire* multi-group broadcast occupies a single
+        in-flight heap entry: when group ``g`` fires, the walker pushes
+        group ``g + 1`` under its preallocated time/sequence key and
+        dispatches group ``g``'s items back to back.  A 64-way broadcast
+        spread over a dozen latency rings therefore costs one heap push
+        per ring instead of one per receiver, and only one entry is ever
+        resident.
+
+        Ordering parity with the reference engine holds because the
+        sequence block is contiguous across all groups (no foreign event
+        can ever sort between two items of the broadcast) and each
+        group's heap key ``(time, 0, first_seq)`` is exactly the key of
+        its first item under per-item scheduling.  The
+        :meth:`schedule_fanout` caveat applies: item callbacks must not
+        schedule negative-priority same-cycle work and expect it to
+        preempt later items.
+        """
+        if not self.fast:
+            prev = 0
+            for delay, items in groups:
+                if delay < 0:
+                    raise ValueError(
+                        f"cannot schedule into the past (delay={delay})")
+                if delay < prev:
+                    raise ValueError("fanout group delays must ascend")
+                prev = delay
+                for item in items:
+                    self.schedule(delay, callback, item)
+            return
+        now = self.now
+        seq = self._seq
+        total = 0
+        plan = []
+        prev = 0
+        for delay, items in groups:
+            if delay < 0:
+                raise ValueError(
+                    f"cannot schedule into the past (delay={delay})")
+            if delay < prev:
+                raise ValueError("fanout group delays must ascend")
+            prev = delay
+            if items:
+                plan.append((now + delay, seq + total, items))
+                total += len(items)
+        if not plan:
+            return
+        self._seq = seq + total
+        self._live += total
+        time0, seq0, _items = plan[0]
+        if time0 == now:
+            self._ready.append(
+                (seq0, self._run_fanout_groups, (callback, plan, 0), None)
+            )
+        else:
+            heapq.heappush(
+                self._queue,
+                (time0, 0, seq0, None,
+                 self._run_fanout_groups, (callback, plan, 0)),
+            )
+
+    def _run_fanout_groups(self, callback: Callable[..., None],
+                           plan: list, index: int) -> None:
+        # Same live-count arithmetic as _run_fanout, per group: the
+        # dispatcher decremented once for this walker entry, the rest of
+        # the group's preallocated counts are settled here.  The *next*
+        # group's entry re-enters the queue under its preallocated key
+        # without touching the live count (it was counted at schedule
+        # time), and is pushed before this group's items run so their
+        # callbacks can never observe the broadcast absent from the heap.
+        _time, _seq, items = plan[index]
+        nxt = index + 1
+        if nxt < len(plan):
+            t, s, _ = plan[nxt]
+            heapq.heappush(
+                self._queue,
+                (t, 0, s, None, self._run_fanout_groups,
+                 (callback, plan, nxt)),
+            )
+        self._live -= len(items) - 1
+        self.advance_holds += 1
+        try:
+            for item in items:
+                callback(item)
+        finally:
+            self.advance_holds -= 1
+
     def schedule_at(
         self,
         time: int,

@@ -111,6 +111,104 @@ class Stats:
         return out
 
 
+class HandshakeStats:
+    """Per-core message accounting for the Figure 8 flush handshake.
+
+    Deliberately *not* a :class:`StatDomain`: every domain counter is
+    part of the determinism digest (``Stats.flatten`` feeds
+    ``state_digest``), and these counts are bumped from batched fast
+    paths whose per-event shape differs from the reference engine even
+    though the message *totals* are identical.  Keeping them as plain
+    slotted attributes makes them digest-invisible by construction --
+    the same contract as the fast-forward drain counters -- while the
+    bench harness asserts fast-vs-reference equality explicitly, the
+    way the conflict counters are checked.
+
+    Counter semantics (messages, not events -- a batched simulator event
+    covering k banks still counts k messages):
+
+    * ``flush_epoch_msgs``  -- FlushEpoch broadcasts, one per bank per
+      flush (step 1).
+    * ``bank_ack_msgs``     -- BankAck transmissions (step 3), including
+      dropped/retried transmissions under fault injection.  Under the
+      all-to-all protocol each ack is announced to every bank plus the
+      initiator, so one logical ack costs ``llc_banks`` messages.
+    * ``persist_ack_msgs``  -- per-line PersistAck hops from the memory
+      controller back to the owning bank (step 2->3 internal leg).
+    * ``persist_cmp_msgs``  -- PersistCMP broadcasts, one per bank per
+      flush (step 4); zero under all-to-all, where banks self-determine
+      completion.
+    * ``idt_notify_msgs``   -- inter-thread dependence-clear notices
+      sent to dependent cores when an epoch persists.
+
+    Flushes overlap (the arbiter pipelines several epochs), so the
+    per-flush (i.e. per-epoch) cost cannot be bracketed with global
+    snapshots: each flush operation accumulates its own message count
+    and reports it once at completion via :meth:`note_flush`, which
+    maintains the count, sum, and maximum needed for the
+    messages-per-flush curves without storing a per-epoch list.
+    """
+
+    __slots__ = ("flushes", "flush_epoch_msgs", "bank_ack_msgs",
+                 "persist_ack_msgs", "persist_cmp_msgs", "idt_notify_msgs",
+                 "flush_msgs_sum", "last_flush_msgs", "max_flush_msgs")
+
+    def __init__(self) -> None:
+        self.flushes = 0
+        self.flush_epoch_msgs = 0
+        self.bank_ack_msgs = 0
+        self.persist_ack_msgs = 0
+        self.persist_cmp_msgs = 0
+        self.idt_notify_msgs = 0
+        self.flush_msgs_sum = 0
+        self.last_flush_msgs = 0
+        self.max_flush_msgs = 0
+
+    # ------------------------------------------------------------------
+    def total_msgs(self) -> int:
+        return (self.flush_epoch_msgs + self.bank_ack_msgs
+                + self.persist_ack_msgs + self.persist_cmp_msgs
+                + self.idt_notify_msgs)
+
+    def note_flush(self, msgs: int) -> None:
+        """Record one completed flush handshake costing ``msgs`` messages."""
+        self.flushes += 1
+        self.flush_msgs_sum += msgs
+        self.last_flush_msgs = msgs
+        if msgs > self.max_flush_msgs:
+            self.max_flush_msgs = msgs
+
+    def mean_flush_msgs(self) -> float:
+        return self.flush_msgs_sum / self.flushes if self.flushes else 0.0
+
+    def merge(self, other: "HandshakeStats") -> None:
+        """Fold another core's counts into this one (aggregation)."""
+        self.flush_epoch_msgs += other.flush_epoch_msgs
+        self.bank_ack_msgs += other.bank_ack_msgs
+        self.persist_ack_msgs += other.persist_ack_msgs
+        self.persist_cmp_msgs += other.persist_cmp_msgs
+        self.idt_notify_msgs += other.idt_notify_msgs
+        self.flushes += other.flushes
+        self.flush_msgs_sum += other.flush_msgs_sum
+        self.last_flush_msgs = other.last_flush_msgs or self.last_flush_msgs
+        if other.max_flush_msgs > self.max_flush_msgs:
+            self.max_flush_msgs = other.max_flush_msgs
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "flushes": self.flushes,
+            "flush_epoch_msgs": self.flush_epoch_msgs,
+            "bank_ack_msgs": self.bank_ack_msgs,
+            "persist_ack_msgs": self.persist_ack_msgs,
+            "persist_cmp_msgs": self.persist_cmp_msgs,
+            "idt_notify_msgs": self.idt_notify_msgs,
+            "total_msgs": self.total_msgs(),
+            "mean_flush_msgs": self.mean_flush_msgs(),
+            "last_flush_msgs": self.last_flush_msgs,
+            "max_flush_msgs": self.max_flush_msgs,
+        }
+
+
 def geometric_mean(values: list[float]) -> float:
     """Geometric mean, as used for the paper's gmean bars."""
     if not values:

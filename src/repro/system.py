@@ -39,12 +39,12 @@ from repro.cpu.processor import Core
 from repro.mem.address import AddressMap
 from repro.mem.cache import CacheEntry, SetAssociativeCache
 from repro.mem.coherence import Directory, ReferenceDirectory
-from repro.mem.interconnect import Mesh
+from repro.mem.interconnect import Mesh, _LazyRows
 from repro.mem.nvram import MemoryController, NVRAMImage
 from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.config import MachineConfig, PersistencyModel
 from repro.sim.engine import Engine
-from repro.sim.stats import Stats
+from repro.sim.stats import HandshakeStats, Stats
 from repro.sim.trace import Tracer
 
 _MAX_REQUEST_RETRIES = 1000
@@ -201,6 +201,13 @@ class Multicore:
         self.idt = IDTracker(
             config.idt_registers_per_epoch, self.stats.domain("idt")
         )
+        # Per-core handshake message accounting -- digest-invisible by
+        # construction (plain attributes, never a StatDomain; see
+        # sim/stats.py).  Built before the arbiters so the pooled flush
+        # operations can capture the list.
+        self.handshake: List[HandshakeStats] = [
+            HandshakeStats() for _ in range(config.num_cores)
+        ]
         for core_id in range(config.num_cores):
             mgr = EpochManager(
                 core_id, self.engine, self.stats.domain(f"core{core_id}"),
@@ -208,6 +215,7 @@ class Multicore:
             )
             mgr.keep_retired = keep_epoch_log
             mgr.persist_check = self.maybe_persist
+            mgr.handshake = self.handshake[core_id]
             self.managers.append(mgr)
             self.arbiters.append(Arbiter(core_id, self, mgr))
             self.undo_logs.append(UndoLog(core_id, self))
@@ -235,26 +243,18 @@ class Multicore:
             self.stats.domain(f"l1.{i}") for i in range(config.num_cores)
         ]
         self._llc_domain = llc_stats
-        self._base_lat = [
-            [
-                config.l1_latency
-                + 2 * self.mesh.core_to_bank(core, bank)
-                + config.llc_latency
-                for bank in range(config.llc_banks)
-            ]
-            for core in range(config.num_cores)
-        ]
+        # Lazily-materialized per-core rows (like the mesh's own
+        # tables): only the cores that actually issue requests pay for
+        # their row, which matters at 64 cores x 64 banks.
+        round_trip = config.l1_latency + config.llc_latency
+        self._base_lat = _LazyRows(config.num_cores, lambda core: tuple(
+            round_trip + 2 * lat for lat in self.mesh.c2b[core]
+        ))
         # One-way L1->bank travel leg of a memory fill, per (core, bank);
         # the bank->MC leg is added from the mesh's b2mc table per line.
-        self._fill_travel = [
-            [
-                config.l1_latency
-                + self.mesh.core_to_bank(core, bank)
-                + config.llc_latency
-                for bank in range(config.llc_banks)
-            ]
-            for core in range(config.num_cores)
-        ]
+        self._fill_travel = _LazyRows(config.num_cores, lambda core: tuple(
+            round_trip + lat for lat in self.mesh.c2b[core]
+        ))
         self._inline_depth = 0
         # Per-line epoch tags (fast mode): line -> the epoch holding the
         # *newest* unpersisted dirty version of the line, maintained on
@@ -1714,6 +1714,22 @@ class Multicore:
             mc.flush_hot_stats()
         for arbiter in self.arbiters:
             arbiter.flush_hot_stats()
+
+    def handshake_counters(self) -> dict:
+        """Machine-wide handshake message totals (digest-invisible).
+
+        The aggregate of every core's :class:`HandshakeStats`, plus the
+        per-core breakdown -- the payload the bench harness records for
+        the messages-per-flush scaling curves and compares fast vs
+        reference (the counters are bumped identically in both engine
+        modes; this accessor is the parity probe).
+        """
+        total = HandshakeStats()
+        for hs in self.handshake:
+            total.merge(hs)
+        out = total.as_dict()
+        out["per_core"] = [hs.as_dict() for hs in self.handshake]
+        return out
 
     # ------------------------------------------------------------------
     # Invariant auditing (used by the test suite)

@@ -19,6 +19,7 @@ __all__ = [
     "AppWorkload",
     "app_programs",
     "ServingWorkload",
+    "ShardedServingWorkload",
 ]
 
 
@@ -28,4 +29,7 @@ def __getattr__(name):
     if name == "ServingWorkload":
         from repro.workloads.apps.serving import ServingWorkload
         return ServingWorkload
+    if name == "ShardedServingWorkload":
+        from repro.workloads.apps.sharded import ShardedServingWorkload
+        return ShardedServingWorkload
     raise AttributeError(name)

@@ -1,0 +1,136 @@
+"""Sharded serving: cross-shard ownership migration at high core counts.
+
+The scaling sweep needs a workload where handshake volume comes from
+*real* cross-thread handoff, not just a private hotset -- the Durable
+Queues result (PAPERS.md) is that contended cross-thread transfer is
+where persist-barrier message traffic actually bites.  This variant
+shards a single shared keyspace across threads:
+
+* **Shared keyspace, home shards.**  All threads address one keyspace
+  at a fixed base (unlike the per-thread private heaps of the Table 2
+  micros).  Shard ``s`` owns the contiguous slot range
+  ``[s * keys_per_shard, (s+1) * keys_per_shard)`` and thread ``t``'s
+  home shard is ``t % num_shards``; in-shard traffic stays thread-local
+  exactly like ``serving``.
+* **Cross-shard ownership migration.**  With probability
+  ``migrate_fraction`` a PUT targets a *remote* shard: the thread
+  claims the shard by a read-modify-write of its ownership word (one
+  cache line per shard, so claims collide), rewrites the entry, and
+  publishes -- the persist-then-publish idiom across a line another
+  core's epoch just wrote.  Each migration drags entry + index +
+  ownership lines between L1s, which is precisely the inter-thread
+  conflict / IDT / handshake traffic the message-accounting counters
+  meter.
+* **Per-transaction durability**, same PUT/GET shape as ``serving``:
+  a PUT rewrites the 512-byte entry, publishes through an 8-byte index
+  slot, and closes with a persist barrier; a GET follows the index to
+  the entry.
+
+Registered with the micro factory as ``sharded_serving`` so the bench
+scaling sweep can name it like any Table 2 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.workloads.base import Op, barrier
+from repro.workloads.micro.common import ENTRY_SIZE, MicroBenchmark, register
+
+# Fixed shared layout: every thread computes the same addresses.  Sits
+# between the shared-statistics region (0x0800_0000) and the private
+# thread heaps (0x1000_0000+); entries, then index slots, then one
+# ownership line per shard.
+_KEYSPACE_BASE = 0x0900_0000
+
+
+@register
+class ShardedServingWorkload(MicroBenchmark):
+    name = "sharded_serving"
+
+    def __init__(
+        self,
+        *args,
+        num_keys: int = 1024,
+        num_shards: int = 4,
+        migrate_fraction: float = 0.2,
+        put_fraction: float = 0.5,
+        think_cycles: int = 0,
+        shared_update_every: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            *args,
+            think_cycles=think_cycles,
+            shared_update_every=shared_update_every,
+            **kwargs,
+        )
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if num_keys < num_shards:
+            raise ValueError("need at least one key per shard")
+        if not 0.0 <= migrate_fraction <= 1.0:
+            raise ValueError("migrate_fraction must be within [0, 1]")
+        if not 0.0 <= put_fraction <= 1.0:
+            raise ValueError("put_fraction must be within [0, 1]")
+        self.num_keys = num_keys
+        self.num_shards = num_shards
+        self.migrate_fraction = migrate_fraction
+        self.put_fraction = put_fraction
+        self.keys_per_shard = num_keys // num_shards
+        self.home_shard = self.thread_id % num_shards
+
+        self._entries = _KEYSPACE_BASE
+        self._index = self._entries + num_keys * ENTRY_SIZE
+        index_end = self._index + num_keys * 8
+        # Ownership words on line boundaries: one line per shard.
+        self._owners = (
+            (index_end + self.line_size - 1) & ~(self.line_size - 1)
+        )
+
+    # ------------------------------------------------------------------
+    def _draw_slot(self, shard: int) -> int:
+        """Uniform slot within ``shard``'s contiguous range."""
+        return (shard * self.keys_per_shard
+                + self.rng.randrange(self.keys_per_shard))
+
+    # ------------------------------------------------------------------
+    def setup(self) -> Iterator[Op]:
+        # Like serving: no warm-up population -- a GET of a never-written
+        # key legally reads the zeroed NVRAM image.
+        return iter(())
+
+    def transaction(self) -> Iterator[Op]:
+        migrate = (self.num_shards > 1
+                   and self.rng.random() < self.migrate_fraction)
+        if migrate:
+            # Ownership migration: claim a remote shard, then PUT into
+            # it.  The claim is a RMW of the shard's ownership line --
+            # the contended handoff the handshake counters meter.
+            shard = self.rng.randrange(self.num_shards - 1)
+            if shard >= self.home_shard:
+                shard += 1
+            owner_addr = self._owners + shard * self.line_size
+            yield self.load_field(owner_addr)
+            yield self.store_field(
+                owner_addr, ("own", self.thread_id, self._txn_counter, shard)
+            )
+        else:
+            shard = self.home_shard
+        slot = self._draw_slot(shard)
+        entry_addr = self._entries + slot * ENTRY_SIZE
+        index_addr = self._index + slot * 8
+        if migrate or self.rng.random() < self.put_fraction:
+            # PUT (migrations always write): entry body, publish through
+            # the index slot, make the group durable.
+            yield from self.store_obj(
+                entry_addr, ENTRY_SIZE,
+                ("put", self.thread_id, self._txn_counter, slot),
+            )
+            yield self.store_field(
+                index_addr, ("idx", self.thread_id, self._txn_counter, slot)
+            )
+            yield barrier()
+        else:
+            yield self.load_field(index_addr)
+            yield from self.load_obj(entry_addr, ENTRY_SIZE)

@@ -41,17 +41,19 @@ from repro.workloads.micro.rbtree import RBTreeWorkload
 from repro.workloads.micro.sdg import SDGWorkload
 from repro.workloads.micro.sps import SPSWorkload
 
-# Application-tier workload registered with the same factory; imported
-# last so micro.common is fully initialised first (serving subclasses
-# MicroBenchmark and calls @register at import time).
+# Application-tier workloads registered with the same factory; imported
+# last so micro.common is fully initialised first (they subclass
+# MicroBenchmark and call @register at import time).
 try:
     from repro.workloads.apps.serving import ServingWorkload
+    from repro.workloads.apps.sharded import ShardedServingWorkload
 except ImportError:  # pragma: no cover - circular entry
     # Someone imported repro.workloads.apps.serving *first*; that module
     # pulled in this package (for MicroBenchmark) before defining its
     # class.  Its own import is still in flight and will define and
     # register the class; only this package's re-export is unavailable.
     ServingWorkload = None  # type: ignore[assignment]
+    ShardedServingWorkload = None  # type: ignore[assignment]
 
 __all__ = [
     "ENTRY_SIZE",
@@ -66,5 +68,6 @@ __all__ = [
     "SDGWorkload",
     "SPSWorkload",
     "ServingWorkload",
+    "ShardedServingWorkload",
     "make_benchmark",
 ]

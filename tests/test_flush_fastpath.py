@@ -49,21 +49,23 @@ def test_bank_never_acks_twice():
 
 
 def test_schedule_bank_ack_is_idempotent():
-    """Once a bank's ack is in flight (or delivered), further
-    schedule requests are no-ops: exactly one ack event per bank."""
+    """Once a bank's ack is sent (virtually delivered, in the fault-free
+    path), further schedule requests are no-ops: exactly one ack per
+    bank, counted exactly once."""
     m = make_machine()
     op = m.arbiters[0]._flush_op
-    calls = []
-    op._engine = types.SimpleNamespace(
-        schedule_call=lambda *a: calls.append(a), now=0
-    )
+    op._engine = types.SimpleNamespace(now=0)
     op._epoch = types.SimpleNamespace(core_id=0)
+    op._acks_received = 0
+    op._ack_deadline = 0
     op._bank_state[1] = _ISSUE_DONE
     op._schedule_bank_ack(1)
-    assert op._bank_state[1] == _ACK_SENT
+    assert op._bank_state[1] == _ACKED
+    assert op._acks_received == 1
+    assert op._ack_deadline == m.mesh.c2b[0][1]
     op._schedule_bank_ack(1)  # late duplicate: outstanding hit zero again
     op._schedule_bank_ack(1)
-    assert len(calls) == 1
+    assert op._acks_received == 1
 
 
 def test_begin_while_inflight_raises():

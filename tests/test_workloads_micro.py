@@ -20,8 +20,10 @@ ALL_NAMES = ["hash", "queue", "rbtree", "sdg", "sps"]
 
 # Simulator-only workloads: registered with the factory but not part of
 # Table 2 (and so excluded from the paper's figure sweeps).  ``serving``
-# lives in workloads.apps but registers with the same factory.
-EXTRA_NAMES = ["flushbound", "hotset", "pingpong", "serving"]
+# and ``sharded_serving`` live in workloads.apps but register with the
+# same factory.
+EXTRA_NAMES = ["flushbound", "hotset", "pingpong", "serving",
+               "sharded_serving"]
 
 
 def test_registry_matches_table2():
