@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci test test-reference test-smoke test-slow bench scale figures clean-cache
+.PHONY: ci test test-reference test-smoke test-slow bench scale farm figures figures-full clean-cache
 
 # What CI runs (see .github/workflows/ci.yml): the fast tier-1 suite,
 # the same suite on the pure-heap reference engine, and a bench smoke
@@ -41,8 +41,19 @@ scale:
 	$(PYTHON) -m repro bench --no-sweep --only scaling \
 		--cores 4,8,16,32,64 --check-digests
 
+# The delta-planner farm bench: cold plan+run, warm no-op replan,
+# two-shard merge, and a scoped version bump, refreshing only the
+# `farm` family of BENCH_sweep.json.
+farm:
+	$(PYTHON) -m repro bench --no-sweep --only farm --check-digests
+
 figures:
 	$(PYTHON) -m repro figures all --scale small
+
+# The paper-scale full tier under a one-hour budget; rerun to resume
+# (completed runs are cached, only the remainder executes).
+figures-full:
+	$(PYTHON) -m repro figures all --full --budget 3600
 
 clean-cache:
 	rm -rf .repro-cache

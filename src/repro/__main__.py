@@ -9,6 +9,8 @@ Subcommands:
   worker processes and reuse cached results from ``.repro-cache/``).
 * ``bench``   -- time the sweep executor serial vs parallel vs warm
   cache and write ``BENCH_sweep.json``.
+* ``cache``   -- inspect (``--stats``) or garbage-collect (``--prune``)
+  the content-addressed result cache.
 * ``crash``   -- crash a workload at a given cycle, check consistency,
   and (for BSP) perform undo-log recovery.
 * ``crashsweep`` -- run a workload once, capture its persist history,
@@ -92,16 +94,75 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.harness.experiments import main as experiments_main
-    argv = list(args.figures) + ["--scale", args.scale,
-                                 "--seed", str(args.seed),
+    argv = list(args.figures) + ["--seed", str(args.seed),
                                  "--cache-dir", args.cache_dir]
+    if args.scale is not None:
+        argv += ["--scale", args.scale]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
     if args.no_cache:
         argv.append("--no-cache")
     if args.refresh:
         argv.append("--refresh")
+    if args.full:
+        argv.append("--full")
+    if args.budget is not None:
+        argv += ["--budget", str(args.budget)]
+    if args.shard is not None:
+        argv += ["--shard", args.shard]
+    if args.plan_file is not None:
+        argv += ["--plan-file", args.plan_file]
+    if args.csv_dir is not None:
+        argv += ["--csv-dir", args.csv_dir]
     return experiments_main(argv)
+
+
+def _parse_size(text: str) -> int:
+    """Byte count with an optional K/M/G suffix (e.g. ``64M``)."""
+    scales = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    t = text.strip().lower().rstrip("b")
+    if t and t[-1] in scales:
+        return int(float(t[:-1]) * scales[t[-1]])
+    return int(t)
+
+
+def _fmt_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return (f"{value:.1f} {unit}" if unit != "B"
+                    else f"{count} B")
+        value /= 1024
+    return f"{count} B"
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness.cache import ResultCache
+    cache = ResultCache(args.cache_dir)
+    if args.prune:
+        if args.max_bytes is None and args.max_age_days is None:
+            print("cache --prune needs --max-bytes and/or --max-age-days",
+                  file=sys.stderr)
+            return 2
+        removed, freed = cache.prune(
+            max_bytes=args.max_bytes, max_age_days=args.max_age_days,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"[cache] {verb} {removed} entries, "
+              f"{_fmt_bytes(freed)} freed")
+    if args.stats or not args.prune:
+        stats = cache.stats()
+        print(f"== cache {stats['root']} ==")
+        print(f"result entries   : {stats['entries']} "
+              f"({_fmt_bytes(stats['bytes'])})")
+        print(f"cost records     : {stats['cost_entries']} "
+              f"({_fmt_bytes(stats['cost_bytes'])})")
+        if stats["entries"]:
+            print(f"last use (age)   : newest {stats['newest_age_s']}s, "
+                  f"mean {stats['mean_age_s']}s, "
+                  f"oldest {stats['oldest_age_s']}s")
+    return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -282,12 +343,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig_p = sub.add_parser("figures", help="regenerate paper figures")
     fig_p.add_argument("figures", nargs="+")
-    fig_p.add_argument("--scale", default="small",
-                       choices=[s.value for s in Scale])
+    fig_p.add_argument("--scale", default=None,
+                       choices=[s.value for s in Scale],
+                       help="machine scale (default: small; paper "
+                            "under --full)")
     fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.add_argument("--csv-dir", default=None,
+                       help="write each figure's data as CSV here")
     from repro.harness.experiments import add_executor_args
     add_executor_args(fig_p)
     fig_p.set_defaults(func=cmd_figures)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the result cache"
+    )
+    from repro.harness.cache import DEFAULT_CACHE_DIR
+    cache_p.add_argument("--cache-dir", default=str(DEFAULT_CACHE_DIR))
+    cache_p.add_argument("--stats", action="store_true",
+                         help="print entry counts, bytes, and last-use "
+                              "ages (the default action)")
+    cache_p.add_argument("--prune", action="store_true",
+                         help="LRU/age garbage collection; scope with "
+                              "--max-bytes / --max-age-days")
+    cache_p.add_argument("--max-bytes", type=_parse_size, default=None,
+                         metavar="N[K|M|G]",
+                         help="evict least-recently-used results until "
+                              "the cache fits this budget")
+    cache_p.add_argument("--max-age-days", type=float, default=None,
+                         help="drop records not used for this long")
+    cache_p.add_argument("--dry-run", action="store_true",
+                         help="report what --prune would delete")
+    cache_p.set_defaults(func=cmd_cache)
 
     bench_p = sub.add_parser(
         "bench", help="time the sweep executor (writes BENCH_sweep.json)"
@@ -311,13 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default flushbound)")
     bench_p.add_argument("--only",
                          choices=("single", "flush", "multicore", "serving",
-                                  "scaling", "crash"),
+                                  "scaling", "crash", "farm"),
                          default=None,
                          help="run just one bench family (skips the "
                               "matrix, crash-recovery, million, and sweep "
                               "sections; 'scaling' runs the core-count "
                               "sweep, 'crash' the exhaustive crash-point "
-                              "sweeps and fault-injection checks)")
+                              "sweeps and fault-injection checks, 'farm' "
+                              "the planner cold/warm/sharded timings)")
     from repro.harness.bench import parse_cores
     bench_p.add_argument("--cores", type=parse_cores, default=None,
                          metavar="N,N,...",

@@ -53,13 +53,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.harness.cache import ResultCache
+from repro.harness.cache import SUBSYSTEM_VERSIONS, ResultCache
 from repro.harness.executor import RunSpec, run_specs
 from repro.harness.experiments import (
     bep_sweep_plan,
     fig13_plan,
     fig14_plan,
 )
+from repro.harness.plan import build_plan, run_plan, shard_plan
 from repro.harness.runner import Scale
 from repro.sim.config import (
     BarrierDesign,
@@ -1391,6 +1392,84 @@ def run_sweep_bench(jobs: int, seed: int) -> dict:
     }
 
 
+def run_farm_bench(jobs: int, seed: int) -> dict:
+    """The ``--only farm`` section: delta-planner timings + invariants.
+
+    Times the farm's four serving modes over the fixed bench sweep:
+    a cold plan-and-run, a warm no-op replan (the plan must find zero
+    pending specs), a two-shard split merging through one shared cache
+    (the merged cache must cover the plan), and a single-subsystem
+    version bump (which must invalidate a strict subset).  The
+    invariant booleans feed ``--check-digests`` so CI fails if the
+    planner ever recomputes warm work or drops sharded work.
+    """
+    specs = bench_specs(seed)
+    universe = {"bench": specs}
+    cpu_count = os.cpu_count() or 1
+    print(f"[bench] farm: {len(specs)} specs, tiny scale, jobs={jobs}, "
+          f"{cpu_count} cpu(s)")
+
+    with tempfile.TemporaryDirectory(prefix="repro-farm-cache-") as tmp:
+        start = time.perf_counter()
+        plan = build_plan(universe, ResultCache(tmp))
+        cold_plan_s = time.perf_counter() - start
+        cold_pending = len(plan.pending)
+
+        start = time.perf_counter()
+        cache = ResultCache(tmp)
+        run_plan(plan, cache, jobs=jobs)
+        cold_run_s = time.perf_counter() - start
+        print(f"[bench] farm cold:  plan {cold_plan_s:6.3f}s, run "
+              f"{cold_run_s:7.2f}s ({cold_pending} pending)")
+
+        start = time.perf_counter()
+        warm = build_plan(universe, ResultCache(tmp))
+        warm_plan_s = time.perf_counter() - start
+        warm_pending = len(warm.pending)
+        print(f"[bench] farm warm:  plan {warm_plan_s:6.3f}s "
+              f"({warm_pending} pending)")
+
+        bumped = ResultCache(
+            tmp, versions={"flush": SUBSYSTEM_VERSIONS["flush"] + 1}
+        )
+        bump_pending = len(build_plan(universe, bumped).pending)
+        print(f"[bench] farm bump:  flush+1 invalidates {bump_pending}"
+              f"/{len(specs)} specs")
+
+    with tempfile.TemporaryDirectory(prefix="repro-farm-shard-") as tmp:
+        cache = ResultCache(tmp)
+        plan = build_plan(universe, cache)
+        start = time.perf_counter()
+        for index in (1, 2):
+            run_plan(shard_plan(plan, index, 2), cache, jobs=jobs)
+        sharded_s = time.perf_counter() - start
+        leftover = len(build_plan(universe, ResultCache(tmp)).pending)
+        print(f"[bench] farm shard: 2 shards sequential {sharded_s:7.2f}s "
+              f"({leftover} left unpinned)")
+
+    return {
+        "scale": "tiny",
+        "specs": len(specs),
+        "seed": seed,
+        "jobs": jobs,
+        "wall_seconds": {
+            "cold_plan": round(cold_plan_s, 4),
+            "cold_run": round(cold_run_s, 3),
+            "warm_plan": round(warm_plan_s, 4),
+            "sharded_2x": round(sharded_s, 3),
+        },
+        "pending": {
+            "cold": cold_pending,
+            "warm": warm_pending,
+            "flush_bump": bump_pending,
+        },
+        # Invariants asserted by --check-digests.
+        "warm_noop": warm_pending == 0,
+        "sharded_complete": leftover == 0,
+        "scoped_bump_partial": 0 < bump_pending < len(specs),
+    }
+
+
 # ----------------------------------------------------------------------
 def _headline(record: dict) -> dict:
     """The numbers worth carrying forward in the trajectory."""
@@ -1434,6 +1513,16 @@ def _headline(record: dict) -> dict:
     if sweep:
         entry["sweep_parallel_vs_serial"] = (sweep.get("speedup") or {}).get(
             "parallel_vs_serial")
+    farm = record.get("farm")
+    if farm:
+        walls = farm.get("wall_seconds") or {}
+        entry["farm"] = {
+            "specs": farm.get("specs"),
+            "cold_plan_s": walls.get("cold_plan"),
+            "warm_plan_s": walls.get("warm_plan"),
+            "cold_run_s": walls.get("cold_run"),
+            "sharded_2x_s": walls.get("sharded_2x"),
+        }
     return entry
 
 
@@ -1522,6 +1611,12 @@ def digests_ok(record: dict) -> bool:
             row = crash_sweep.get(key)
             if row and not row.get("match"):
                 return False
+    farm = record.get("farm")
+    if farm:
+        for invariant in ("warm_noop", "sharded_complete",
+                          "scoped_bump_partial"):
+            if not farm.get(invariant):
+                return False
     return True
 
 
@@ -1535,8 +1630,9 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
 
     ``only`` restricts the run to one bench family (``"single"``,
     ``"flush"``, ``"multicore"``, ``"serving"``, ``"scaling"`` -- the
-    core-count sweep -- or ``"crash"`` -- the exhaustive crash-point
-    sweeps plus fault injection) for CI smoke jobs; the full matrix,
+    core-count sweep -- ``"crash"`` -- the exhaustive crash-point
+    sweeps plus fault injection -- or ``"farm"`` -- the delta-planner
+    cold/warm/sharded timings) for CI smoke jobs; the full matrix,
     crash-recovery, million-transaction, and sweep-executor sections
     run only in the unrestricted mode.  A restricted run regenerates
     only its own section: every other family present in the existing
@@ -1584,6 +1680,8 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
             seed=seed, cores=cores or _SCALING_CORES)
     if only in (None, "crash"):
         record["crash_sweep"] = run_crash_sweep_bench(seed=seed)
+    if only in (None, "farm"):
+        record["farm"] = run_farm_bench(jobs=jobs, seed=seed)
     if only is None:
         record["digests"] = digest_matrix(seed=seed)
         record["crash_recovery"] = crash_recovery_matrix(seed=seed)
@@ -1646,13 +1744,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {_FLUSH_RUN_BENCHMARK})")
     parser.add_argument("--only",
                         choices=("single", "flush", "multicore", "serving",
-                                 "scaling", "crash"),
+                                 "scaling", "crash", "farm"),
                         default=None,
                         help="run just one bench family (skips the "
                              "matrix, crash-recovery, million, and sweep "
                              "sections; 'scaling' runs the core-count "
                              "sweep, 'crash' the exhaustive crash-point "
-                             "sweeps and fault-injection checks)")
+                             "sweeps and fault-injection checks, 'farm' "
+                             "the planner cold/warm/sharded timings)")
     parser.add_argument("--cores", type=parse_cores, default=None,
                         metavar="N,N,...",
                         help="core counts for the scaling sweep: powers "

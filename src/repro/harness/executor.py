@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -54,7 +55,11 @@ class RunSpec:
 
     ``overrides`` holds extra :class:`MachineConfig` fields as a sorted
     tuple of ``(name, value)`` pairs so the spec stays hashable and its
-    canonical form does not depend on keyword order.
+    canonical form does not depend on keyword order.  ``workload_args``
+    holds extra benchmark-constructor keywords the same way (BEP only:
+    the microbenchmark factory takes per-workload knobs such as
+    pingpong's ``conflict_rate`` / ``num_slots``; the BSP apps are
+    profile-driven and take none).
     """
 
     kind: str                     # "bep" | "bsp"
@@ -69,10 +74,16 @@ class RunSpec:
     transactions: Optional[int] = None    # BEP run length (None = scale default)
     mem_ops: Optional[int] = None         # BSP run length (None = scale default)
     overrides: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    workload_args: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if self.kind not in ("bep", "bsp"):
             raise ValueError(f"unknown run kind {self.kind!r}")
+        if self.kind == "bsp" and self.workload_args:
+            raise ValueError(
+                "workload_args apply to BEP microbenchmarks only; the "
+                "BSP apps are profile-driven"
+            )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -81,12 +92,14 @@ class RunSpec:
     def bep(cls, benchmark: str, design: BarrierDesign, scale: Scale,
             seed: int = 1, transactions: Optional[int] = None,
             flush_mode: FlushMode = FlushMode.CLWB,
+            workload_args: Optional[Dict[str, Any]] = None,
             **overrides: Any) -> "RunSpec":
         return cls(
             kind="bep", workload=benchmark, design=design, scale=scale,
             seed=seed, model=PersistencyModel.BEP, flush_mode=flush_mode,
             transactions=transactions,
             overrides=tuple(sorted(overrides.items())),
+            workload_args=tuple(sorted((workload_args or {}).items())),
         )
 
     @classmethod
@@ -147,6 +160,11 @@ class RunSpec:
                 self.mem_ops if self.mem_ops is not None
                 else params.bsp_mem_ops
             )
+        if self.workload_args:
+            # Only when present, so specs without extra knobs keep the
+            # same canonical form (and cache key) as before the field
+            # existed.
+            out["workload_args"] = dict(self.workload_args)
         return out
 
     def describe(self) -> str:
@@ -234,6 +252,7 @@ def execute(spec: RunSpec) -> RunSummary:
         result = run_bep(
             spec.workload, spec.design, scale=spec.scale, seed=spec.seed,
             transactions=spec.transactions, flush_mode=spec.flush_mode,
+            workload_args=dict(spec.workload_args),
             **overrides,
         )
     else:
@@ -247,33 +266,30 @@ def execute(spec: RunSpec) -> RunSummary:
     return RunSummary.from_result(spec, result)
 
 
+def execute_timed(spec: RunSpec) -> Tuple[RunSummary, float]:
+    """:func:`execute` plus the run's wall-clock seconds.
+
+    Module-level so it pickles cleanly into pool workers; the timing is
+    taken inside the worker, so pool scheduling latency is excluded and
+    the recorded cost approximates the run itself.
+    """
+    start = time.perf_counter()
+    summary = execute(spec)
+    return summary, time.perf_counter() - start
+
+
 def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def run_specs(
-    specs: List[RunSpec],
-    jobs: Optional[int] = None,
-    cache=None,
-    refresh: bool = False,
-) -> List[RunSummary]:
-    """Execute ``specs`` and return summaries in spec order.
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Clamp a requested worker count to the machine, with a log line.
 
-    ``jobs=None`` uses every core; ``jobs=1`` runs serially in-process
-    (no pool, easiest to debug/profile).  ``cache`` is any object with
-    ``get(spec) -> Optional[RunSummary]`` and ``put(spec, summary)``
-    (see :class:`repro.harness.cache.ResultCache`); with ``refresh`` the
-    cache is only written, never read.
-
-    Results are deterministic: the simulator is seeded and single-run
-    deterministic, and completion order never reorders the output, so
-    any ``jobs`` value yields the same list.
-
-    Requested jobs are capped at ``os.cpu_count()``: CPU-bound workers
-    beyond the physical core count only add scheduling overhead, and on
-    a 1-CPU host a process pool is strictly slower than running
-    in-process (fork + pickle cost with zero overlap), so a cap of 1
-    falls back to the serial path.
+    ``None`` means every core.  Requested jobs are capped at
+    ``os.cpu_count()``: CPU-bound workers beyond the physical core
+    count only add scheduling overhead, and on a 1-CPU host a process
+    pool is strictly slower than running in-process (fork + pickle cost
+    with zero overlap), so a cap of 1 falls back to the serial path.
     """
     requested = default_jobs() if jobs is None else max(1, jobs)
     cap = os.cpu_count() or 1
@@ -286,31 +302,87 @@ def run_specs(
             f"{cap}: running {mode}",
             file=sys.stderr,
         )
+    return jobs
+
+
+def order_longest_first(indices: List[int],
+                        costs: Dict[int, Optional[float]]) -> List[int]:
+    """LPT schedule: order work items by estimated cost, descending.
+
+    Longest-processing-time-first is the classic makespan heuristic
+    for identical parallel workers: dispatching the big runs first
+    keeps the pool busy at the tail instead of waiting on one straggler
+    that started last.  Items with no recorded cost are assumed to cost
+    the mean of the known ones (ties keep submission order, so the
+    result is deterministic).
+    """
+    known = [c for c in costs.values() if c]
+    default = (sum(known) / len(known)) if known else 0.0
+    return sorted(indices, key=lambda i: -(costs.get(i) or default))
+
+
+def run_specs(
+    specs: List[RunSpec],
+    jobs: Optional[int] = None,
+    cache=None,
+    refresh: bool = False,
+) -> List[RunSummary]:
+    """Execute ``specs`` and return summaries in spec order.
+
+    ``jobs=None`` uses every core; ``jobs=1`` runs serially in-process
+    (no pool, easiest to debug/profile).  ``cache`` is any object with
+    the :class:`repro.harness.cache.ResultCache` interface; with
+    ``refresh`` the cache is only written, never read.  Each spec's
+    content key is computed exactly once and reused across the probe,
+    the store, and the cost lookup (hashing a resolved config per spec
+    per phase is measurable on thousand-spec plans).
+
+    Cache misses are executed longest-first by recorded wall-clock cost
+    (see :func:`order_longest_first`); completion order never reorders
+    the output, so any ``jobs`` value yields the same list.
+    """
+    jobs = resolve_jobs(jobs)
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
 
+    fingerprints: Optional[List[Tuple[str, str]]] = None
+    if cache is not None:
+        fingerprints = [cache.fingerprints(spec) for spec in specs]
+
     misses: List[int] = []
-    for index, spec in enumerate(specs):
-        hit = cache.get(spec) if (cache is not None and not refresh) else None
+    for index in range(len(specs)):
+        hit = (cache.get_by_key(fingerprints[index][0])
+               if (cache is not None and not refresh) else None)
         if hit is not None:
             summaries[index] = hit
         else:
             misses.append(index)
 
     if misses:
+        if cache is not None and len(misses) > 1:
+            costs = {
+                index: cache.cost_by_key(fingerprints[index][1])
+                for index in misses
+            }
+            misses = order_longest_first(misses, costs)
+        walls: Dict[int, float] = {}
         if jobs == 1 or len(misses) == 1:
             for index in misses:
-                summaries[index] = execute(specs[index])
+                summaries[index], walls[index] = execute_timed(specs[index])
         else:
             workers = min(jobs, len(misses))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(execute, specs[index]): index
+                    pool.submit(execute_timed, specs[index]): index
                     for index in misses
                 }
                 for future in as_completed(futures):
-                    summaries[futures[future]] = future.result()
+                    index = futures[future]
+                    summaries[index], walls[index] = future.result()
         if cache is not None:
             for index in misses:
-                cache.put(specs[index], summaries[index])
+                key, cost_key = fingerprints[index]
+                cache.put_by_key(key, specs[index], summaries[index],
+                                 wall_seconds=walls[index],
+                                 cost_key=cost_key)
 
     return summaries  # type: ignore[return-value]

@@ -16,13 +16,22 @@ the content-addressed disk cache (``.repro-cache/``, disable with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.harness.executor import RunSpec, RunSummary, run_specs
-from repro.harness.report import FigureTable, normalize_rows
+from repro.harness.plan import (
+    PLAN_FILENAME,
+    build_plan,
+    parse_shard,
+    run_plan,
+    shard_plan,
+)
+from repro.harness.report import FigureTable, normalize_rows, plan_table
 from repro.harness.runner import (
     BSP_EPOCH_SIZES,
     Scale,
@@ -351,25 +360,107 @@ def ablation_writethrough(scale: Scale = Scale.SMALL, seed: int = 1,
 
 
 # ----------------------------------------------------------------------
+# Contended figure: conflict_rate x num_slots pingpong sweep
+# ----------------------------------------------------------------------
+CONTENDED_RATES = (0.25, 0.5, 1.0)
+CONTENDED_SLOTS = (1, 4, 16)
+_CONTENDED_DESIGNS = [BarrierDesign.LB, BarrierDesign.LB_PP]
+
+
+def contended_plan(scale: Scale, seed: int = 1,
+                   transactions: Optional[int] = None) -> _Plan:
+    """Figure 12-style contention sweep on the pingpong mailbox.
+
+    ``conflict_rate`` scales how often a consumer touches a line the
+    producer's open epoch owns; ``num_slots`` spreads the mailbox over
+    more lines, diluting each one.  Together they trace the conflict
+    regimes Figure 12 samples per-benchmark as one continuous surface.
+    """
+    specs: List[RunSpec] = []
+    keys: List[tuple] = []
+    for rate in CONTENDED_RATES:
+        for slots in CONTENDED_SLOTS:
+            for design in _CONTENDED_DESIGNS:
+                specs.append(RunSpec.bep(
+                    "pingpong", design, scale, seed=seed,
+                    transactions=transactions,
+                    workload_args={"conflict_rate": rate,
+                                   "num_slots": slots},
+                ))
+                keys.append((rate, slots, design.value))
+    return specs, keys
+
+
+def contended(scale: Scale = Scale.SMALL, seed: int = 1,
+              transactions: Optional[int] = None,
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              refresh: bool = False) -> Tuple[FigureTable, FigureTable]:
+    """Contended pingpong: conflict share and LB++ speedup per cell.
+
+    Returns two tables (the units differ): the percentage of epochs
+    flushed by a conflict under LB vs LB++, and the LB++/LB throughput
+    ratio -- the proactive-flush win should grow with contention.
+    """
+    by_key = _run_plan(
+        contended_plan(scale, seed, transactions), jobs, cache, refresh
+    )
+    conflicts = FigureTable(
+        "Contended pingpong: % conflicting epochs "
+        "(conflict_rate x num_slots)",
+        [d.value for d in _CONTENDED_DESIGNS], summary="amean",
+    )
+    speedups = FigureTable(
+        "Contended pingpong: LB++ throughput speedup over LB",
+        ["LB++/LB"], summary="gmean",
+    )
+    for rate in CONTENDED_RATES:
+        for slots in CONTENDED_SLOTS:
+            label = f"rate={rate:g} slots={slots}"
+            lb = by_key[(rate, slots, BarrierDesign.LB.value)]
+            pp = by_key[(rate, slots, BarrierDesign.LB_PP.value)]
+            conflicts.add_row(label, [
+                lb.conflict_epoch_pct, pp.conflict_epoch_pct
+            ])
+            speedups.add_row(label, [pp.throughput / lb.throughput])
+    return conflicts, speedups
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 _ALL_FIGURES = ("fig11", "fig12", "fig13", "fig14", "flushmode",
-                "writethrough")
+                "writethrough", "contended")
+
+# tag -> plan function with the uniform (scale, seed) signature.  The
+# delta planner enumerates the universe through this table; fig11 and
+# fig12 share one sweep, so they map to the same plan (the planner
+# dedups the specs and tags them with both consumers).
+_FIGURE_PLANS: Dict[str, Callable[[Scale, int], _Plan]] = {
+    "fig11": bep_sweep_plan,
+    "fig12": bep_sweep_plan,
+    "fig13": fig13_plan,
+    "fig14": fig14_plan,
+    "flushmode": flush_mode_plan,
+    "writethrough": writethrough_plan,
+    "contended": contended_plan,
+}
+
+
+def figure_plan_specs(scale: Scale, seed: int = 1,
+                      figures: Optional[Sequence[str]] = None,
+                      ) -> Dict[str, List[RunSpec]]:
+    """``{figure tag: spec list}`` for the delta planner."""
+    tags = list(figures) if figures is not None else list(_ALL_FIGURES)
+    return {tag: _FIGURE_PLANS[tag](scale, seed)[0] for tag in tags}
 
 
 def all_specs(scale: Scale, seed: int = 1) -> List[RunSpec]:
     """The deduplicated union of every figure's specs, in first-seen
-    order.  Used to prewarm the cache with one big parallel batch before
-    the figures are assembled (the shared NP baselines run once)."""
+    order (the shared NP baselines appear once)."""
     seen = {}
-    for plan in (
-        bep_sweep_plan(scale, seed),
-        fig13_plan(scale, seed),
-        fig14_plan(scale, seed),
-        flush_mode_plan(scale, seed),
-        writethrough_plan(scale, seed),
-    ):
-        for spec in plan[0]:
+    for specs in figure_plan_specs(scale, seed).values():
+        for spec in specs:
             seen.setdefault(spec, None)
     return list(seen)
 
@@ -393,6 +484,31 @@ def add_executor_args(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=str(DEFAULT_CACHE_DIR),
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="paper-scale full tier (implies --scale paper unless "
+             "--scale is given explicitly)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock allowance: stop dispatching new runs once "
+             "exhausted; completed results persist and rerunning the "
+             "same command resumes from the remainder",
+    )
+    parser.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only this shard of the plan (1-based, e.g. 2/4); "
+             "shards are a stable hash of the spec key, so N jobs "
+             "sharing one cache dir cover the plan exactly once; "
+             "figure assembly is skipped (run once unsharded to "
+             "assemble from the merged cache)",
+    )
+    parser.add_argument(
+        "--plan-file", default=None, metavar="PATH",
+        help="where to checkpoint the plan cursor (default: "
+             "<cache-dir>/plan.json); advisory -- resume re-probes "
+             "the cache, never this file",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -403,8 +519,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures", nargs="+",
         choices=list(_ALL_FIGURES) + ["all"],
     )
-    parser.add_argument("--scale", default="small",
-                        choices=[s.value for s in Scale])
+    parser.add_argument("--scale", default=None,
+                        choices=[s.value for s in Scale],
+                        help="machine scale (default: small; paper "
+                             "under --full)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--csv-dir", default=None,
                         help="write each figure's data as CSV here")
@@ -412,10 +530,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="render terminal bar charts too")
     add_executor_args(parser)
     args = parser.parse_args(argv)
-    scale = Scale(args.scale)
+    if args.scale is not None:
+        scale = Scale(args.scale)
+    else:
+        scale = Scale.PAPER if args.full else Scale.SMALL
+    if args.no_cache and (args.full or args.shard
+                          or args.budget is not None):
+        parser.error("--full/--shard/--budget plan through the result "
+                     "cache; drop --no-cache")
+    shard = parse_shard(args.shard) if args.shard else None
     wanted = set(args.figures)
-    run_all = "all" in wanted
-    if run_all:
+    if "all" in wanted:
         wanted = set(_ALL_FIGURES)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -434,13 +559,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
 
     start = time.time()
-    if run_all and cache is not None:
-        # One batch over the union of all figures' specs: maximum
-        # fan-out, shared baselines computed once, figures below then
-        # assemble from the warm cache.
-        run_specs(all_specs(scale, args.seed), jobs=jobs, cache=cache,
-                  refresh=refresh)
+    if cache is not None:
+        # Plan first: enumerate the whole universe for the requested
+        # figures, probe the cache in one pass, and execute only the
+        # delta (shared baselines are planned once).  Figure assembly
+        # below then reads from the warm cache.
+        ordered = [tag for tag in _ALL_FIGURES if tag in wanted]
+        plan = build_plan(
+            figure_plan_specs(scale, args.seed, ordered), cache,
+            refresh=refresh,
+        )
+        part = shard_plan(plan, *shard) if shard else plan
+        est_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if part.pending:
+            print(plan_table(part).render(precision=1))
+        print(part.summary(est_jobs))
+        plan_path = (args.plan_file if args.plan_file is not None
+                     else Path(args.cache_dir) / PLAN_FILENAME)
+        report = run_plan(part, cache, jobs=jobs, budget=args.budget,
+                          plan_path=plan_path)
         refresh = False
+        if report.remaining:
+            print(f"[farm] budget exhausted after {report.elapsed:.1f}s: "
+                  f"{report.executed} executed, {report.remaining} "
+                  "remaining; rerun the same command to resume")
+            print(f"[cache: {cache.hits} hits, {cache.misses} misses "
+                  f"({args.cache_dir})]", file=sys.stderr)
+            return 0
+        if shard is not None:
+            print(f"[farm] shard {shard[0]}/{shard[1]} complete: "
+                  f"{report.executed} executed in {report.elapsed:.1f}s; "
+                  "assemble figures with an unsharded run over the "
+                  "shared cache")
+            return 0
     if wanted & {"fig11", "fig12"}:
         sweep = run_bep_sweep(scale, args.seed, jobs=jobs, cache=cache,
                               refresh=refresh)
@@ -465,6 +616,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         emit("ablation_writethrough",
              ablation_writethrough(scale, args.seed, jobs=jobs, cache=cache,
                                    refresh=refresh), precision=2)
+    if "contended" in wanted:
+        conflicts, speedups = contended(scale, args.seed, jobs=jobs,
+                                        cache=cache, refresh=refresh)
+        emit("contended_conflicts", conflicts, precision=1)
+        emit("contended_speedup", speedups)
     elapsed = time.time() - start
     if cache is not None:
         print(f"[cache: {cache.hits} hits, {cache.misses} misses "

@@ -1,0 +1,344 @@
+"""Delta planner and farm executor for figure sweeps.
+
+The paper's figure set is an incremental build over the
+content-addressed result cache: the full universe of RunSpecs is known
+up front, each spec's key is a pure function of its inputs and the
+subsystem versions (:mod:`repro.harness.cache`), and a result is valid
+exactly while its key resolves.  This module separates *planning* --
+what must run, in what order -- from *execution* -- where and when it
+runs:
+
+* :func:`build_plan` enumerates the deduplicated union of every
+  figure's specs, fingerprints each one exactly once, probes the cache
+  in a single stat-only pass, and attaches recorded wall-clock costs.
+  The result is a :class:`SweepPlan` whose pending entries are the only
+  work left in the universe.
+* :func:`shard_plan` splits a plan deterministically across ``n``
+  workers: entry ``i`` of ``n`` is chosen by a stable hash of the spec
+  key alone (:func:`shard_of`), so every host/CI job computes the same
+  partition with no coordination and the shards merge through the
+  shared cache directory.
+* :func:`run_plan` executes the pending entries longest-first (the LPT
+  makespan heuristic, fed by the version-independent cost records)
+  under an optional wall-clock ``budget``.  Every completion is
+  persisted to the cache immediately and the ``plan.json`` cursor is
+  rewritten, so an interrupted or over-budget run loses at most the
+  in-flight specs.  Resume needs no cursor state: the next
+  :func:`build_plan` re-probes the cache and the completed work is
+  simply no longer pending -- ``plan.json`` is advisory (progress
+  reporting, post-mortem), never authoritative.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import (
+    RunSpec,
+    execute_timed,
+    resolve_jobs,
+)
+
+PLAN_FILENAME = "plan.json"
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One deduplicated spec in the sweep universe."""
+
+    spec: RunSpec
+    key: str                      # content address (inputs + versions)
+    cost_key: str                 # version-independent cost address
+    figures: Tuple[str, ...]      # figure tags that consume this spec
+    cached: bool                  # probe outcome at plan time
+    est_seconds: Optional[float]  # recorded wall-clock, if any
+
+
+@dataclass
+class SweepPlan:
+    """The outcome of one planning pass: every spec, probed and costed.
+
+    ``shard`` is ``None`` for an unsharded plan and ``(i, n)``
+    (1-based) for the partition produced by :func:`shard_plan`.
+    """
+
+    entries: List[PlanEntry]
+    shard: Optional[Tuple[int, int]] = None
+    universe: int = field(default=0)  # entry count before sharding
+
+    def __post_init__(self) -> None:
+        if not self.universe:
+            self.universe = len(self.entries)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[PlanEntry]:
+        return [e for e in self.entries if not e.cached]
+
+    @property
+    def cached_entries(self) -> List[PlanEntry]:
+        return [e for e in self.entries if e.cached]
+
+    def estimated_seconds(self, jobs: int = 1) -> float:
+        """Makespan estimate for the pending work under ``jobs`` workers.
+
+        Entries with no recorded cost are charged the mean of the known
+        ones (or 0 when nothing is known yet -- a cold cache has no
+        basis for an estimate, and the summary line says ``est. ?``).
+        """
+        pending = self.pending
+        known = [e.est_seconds for e in pending if e.est_seconds]
+        if not known:
+            return 0.0
+        mean = sum(known) / len(known)
+        total = sum(e.est_seconds or mean for e in pending)
+        return total / max(1, jobs)
+
+    def summary(self, jobs: int = 1) -> str:
+        """The ``N cached / M to run / est. T`` plan line."""
+        pending = self.pending
+        parts = [
+            f"{len(self.cached_entries)} cached",
+            f"{len(pending)} to run",
+        ]
+        if pending:
+            est = self.estimated_seconds(jobs)
+            parts.append(f"est. {est:.1f}s" if est else "est. ? (no "
+                         "recorded costs yet)")
+        else:
+            parts.append("nothing to do")
+        line = " / ".join(parts)
+        if self.shard is not None:
+            index, count = self.shard
+            line += (f" [shard {index}/{count} of "
+                     f"{self.universe}-spec universe]")
+        return f"[plan] {line}"
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def build_plan(
+    figure_specs: Mapping[str, Sequence[RunSpec]],
+    cache: ResultCache,
+    refresh: bool = False,
+) -> SweepPlan:
+    """Probe the whole spec universe once and emit the delta.
+
+    ``figure_specs`` maps a figure tag to its spec list; the plan holds
+    the deduplicated union in first-seen order, each entry tagged with
+    every figure that consumes it (the shared NP baselines appear once,
+    tagged by all their consumers).  With ``refresh`` every entry is
+    planned as pending regardless of the probe.
+    """
+    order: List[RunSpec] = []
+    consumers: Dict[RunSpec, List[str]] = {}
+    for tag, specs in figure_specs.items():
+        for spec in specs:
+            if spec not in consumers:
+                consumers[spec] = []
+                order.append(spec)
+            if tag not in consumers[spec]:
+                consumers[spec].append(tag)
+
+    entries: List[PlanEntry] = []
+    for spec in order:
+        key, cost_key = cache.fingerprints(spec)
+        cached = (not refresh) and cache.contains_key(key)
+        entries.append(PlanEntry(
+            spec=spec, key=key, cost_key=cost_key,
+            figures=tuple(consumers[spec]), cached=cached,
+            est_seconds=cache.cost_by_key(cost_key),
+        ))
+    return SweepPlan(entries)
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+def shard_of(key: str, count: int) -> int:
+    """The 1-based shard owning ``key`` under a ``count``-way split.
+
+    A pure function of the spec key's leading 64 bits -- the key is
+    already a SHA-256 hex digest, so the prefix is uniformly
+    distributed and no extra hashing (or process-dependent state like
+    ``hash()``) is needed.  Every process, host, and core count maps a
+    key to the same shard.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    return int(key[:16], 16) % count + 1
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``"i/n"`` into 1-based ``(index, count)``, validated."""
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects i/n (e.g. 2/4), got {text!r}"
+        ) from None
+    if count < 1 or not (1 <= index <= count):
+        raise ValueError(
+            f"--shard index out of range: {index}/{count}"
+        )
+    return index, count
+
+
+def shard_plan(plan: SweepPlan, index: int, count: int) -> SweepPlan:
+    """The sub-plan owned by shard ``index`` of ``count``.
+
+    Shards partition the *whole* plan (cached entries included, so the
+    disjointness/union invariants hold over the universe), but only the
+    pending subset of a shard is ever executed.
+    """
+    if not (1 <= index <= count):
+        raise ValueError(f"shard index out of range: {index}/{count}")
+    entries = [e for e in plan.entries if shard_of(e.key, count) == index]
+    return SweepPlan(entries, shard=(index, count),
+                     universe=plan.universe)
+
+
+# ----------------------------------------------------------------------
+# Execution with budget + checkpoint
+# ----------------------------------------------------------------------
+@dataclass
+class PlanRunReport:
+    """What one :func:`run_plan` invocation actually did."""
+
+    executed: int          # specs run and persisted this invocation
+    remaining: int         # pending specs left (budget cut or cancelled)
+    elapsed: float         # wall-clock seconds spent
+    over_budget: bool      # True when the deadline stopped the run
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+
+def pending_longest_first(plan: SweepPlan) -> List[PlanEntry]:
+    """Pending entries in LPT order (unknown costs get the known mean).
+
+    Ties keep plan order, so the schedule is deterministic.
+    """
+    pending = plan.pending
+    known = [e.est_seconds for e in pending if e.est_seconds]
+    default = (sum(known) / len(known)) if known else 0.0
+    return sorted(pending, key=lambda e: -(e.est_seconds or default))
+
+
+def _write_cursor(path: Path, plan: SweepPlan, done: List[str],
+                  remaining: List[str]) -> None:
+    """Atomically rewrite the advisory ``plan.json`` cursor."""
+    record = {
+        "universe": plan.universe,
+        "shard": (f"{plan.shard[0]}/{plan.shard[1]}"
+                  if plan.shard else None),
+        "cached_at_plan_time": len(plan.cached_entries),
+        "completed": done,
+        "remaining": remaining,
+        "updated_unix": round(time.time(), 1),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-plan-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def run_plan(
+    plan: SweepPlan,
+    cache: ResultCache,
+    jobs: Optional[int] = None,
+    budget: Optional[float] = None,
+    plan_path: Optional[Union[str, Path]] = None,
+) -> PlanRunReport:
+    """Execute a plan's pending entries; persist everything that lands.
+
+    ``budget`` is a wall-clock allowance in seconds measured from entry
+    (``time.monotonic``, immune to clock steps): once it is exhausted no
+    *new* spec is dispatched -- in-flight pool workers are allowed to
+    finish and their results are kept, queued-but-unstarted work is
+    cancelled.  ``budget=0`` therefore plans everything and runs
+    nothing, which is how the CLI prints a dry plan.
+
+    ``plan_path`` names the advisory cursor file, rewritten atomically
+    after every completion.  Resume does not read it: re-planning
+    against the cache *is* the resume (completed specs probe as cached),
+    so a lost or stale cursor can never cause recomputation or skipped
+    work.
+    """
+    start = time.monotonic()
+    deadline = start + budget if budget is not None else None
+    ordered = pending_longest_first(plan)
+    cursor = Path(plan_path) if plan_path is not None else None
+
+    done: List[str] = []
+    remaining: List[str] = [e.key for e in ordered]
+    over_budget = False
+
+    def record(entry: PlanEntry, summary, wall: float) -> None:
+        cache.put_by_key(entry.key, entry.spec, summary,
+                         wall_seconds=wall, cost_key=entry.cost_key)
+        done.append(entry.key)
+        remaining.remove(entry.key)
+        if cursor is not None:
+            _write_cursor(cursor, plan, done, remaining)
+
+    if cursor is not None:
+        _write_cursor(cursor, plan, done, remaining)
+    if not ordered:
+        return PlanRunReport(0, 0, time.monotonic() - start, False)
+
+    jobs = resolve_jobs(jobs)
+    if deadline is not None and time.monotonic() >= deadline:
+        over_budget = True
+    elif jobs == 1 or len(ordered) == 1:
+        for entry in ordered:
+            if deadline is not None and time.monotonic() >= deadline:
+                over_budget = True
+                break
+            summary, wall = execute_timed(entry.spec)
+            record(entry, summary, wall)
+    else:
+        workers = min(jobs, len(ordered))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(execute_timed, entry.spec): entry
+                for entry in ordered
+            }
+            for future in as_completed(futures):
+                if future.cancelled():
+                    continue
+                summary, wall = future.result()
+                record(futures[future], summary, wall)
+                if (deadline is not None and not over_budget
+                        and time.monotonic() >= deadline):
+                    over_budget = True
+                    for other in futures:
+                        other.cancel()
+
+    return PlanRunReport(
+        executed=len(done),
+        remaining=len(remaining),
+        elapsed=time.monotonic() - start,
+        over_budget=over_budget,
+    )

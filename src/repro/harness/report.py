@@ -113,6 +113,39 @@ def scaling_table(record: Dict) -> FigureTable:
     return table
 
 
+def plan_table(plan) -> FigureTable:
+    """Per-figure breakdown of a :class:`~repro.harness.plan.SweepPlan`.
+
+    One row per figure tag; a spec shared by several figures (the NP
+    baselines, the fig11/fig12 sweep) counts in each consumer's row, so
+    the columns answer "what does *this* figure still need", not "how
+    is the deduplicated universe split" -- the plan summary line gives
+    the deduplicated totals.  Counts and seconds share rows, so there
+    is no meaningful mean: no summary row.
+    """
+    tags: List[str] = []
+    stats: Dict[str, List[float]] = {}
+    for entry in plan.entries:
+        for tag in entry.figures:
+            if tag not in stats:
+                tags.append(tag)
+                stats[tag] = [0, 0, 0, 0.0]  # specs/cached/pending/est
+            row = stats[tag]
+            row[0] += 1
+            if entry.cached:
+                row[1] += 1
+            else:
+                row[2] += 1
+                row[3] += entry.est_seconds or 0.0
+    table = FigureTable(
+        "sweep plan", ["specs", "cached", "to run", "est s"],
+        summary="none",
+    )
+    for tag in tags:
+        table.add_row(tag, stats[tag])
+    return table
+
+
 def normalize_rows(
     raw: Dict[str, Dict[str, float]],
     baseline_column: str,

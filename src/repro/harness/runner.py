@@ -125,16 +125,22 @@ def run_bep(
     seed: int = 1,
     transactions: Optional[int] = None,
     flush_mode: FlushMode = FlushMode.CLWB,
+    workload_args: Optional[dict] = None,
     **config_overrides,
 ) -> RunResult:
-    """One BEP microbenchmark run: per-thread structure instances."""
+    """One BEP microbenchmark run: per-thread structure instances.
+
+    ``workload_args`` forwards extra constructor keywords to the
+    benchmark factory (e.g. pingpong's ``conflict_rate``/``num_slots``).
+    """
     params = _SCALE_PARAMS[scale]
     txns = transactions if transactions is not None else params.bep_transactions
     config = bep_machine_config(scale, design, flush_mode, **config_overrides)
     machine = Multicore(config)
     programs = [
         make_benchmark(
-            benchmark, thread_id=tid, seed=seed, line_size=config.line_size
+            benchmark, thread_id=tid, seed=seed, line_size=config.line_size,
+            **(workload_args or {}),
         ).ops(txns)
         for tid in range(params.threads)
     ]

@@ -87,6 +87,53 @@ def test_bench_subcommand_registered():
     args = parser.parse_args(["bench", "--jobs", "2"])
     assert callable(args.func)
     assert args.jobs == 2
+    farm = parser.parse_args(["bench", "--only", "farm"])
+    assert farm.only == "farm"
+
+
+def test_figures_farm_flags_forwarded(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    # Budget 0: plan everything, run nothing, persist the cursor.
+    rc = main(["figures", "contended", "--scale", "tiny", "--jobs", "1",
+               "--cache-dir", cache_dir, "--budget", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "18 to run" in out and "rerun the same command" in out
+    assert (tmp_path / "cache" / "plan.json").is_file()
+    # A shard run skips assembly.
+    rc = main(["figures", "contended", "--scale", "tiny", "--jobs", "1",
+               "--cache-dir", cache_dir, "--shard", "1/2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shard 1/2 complete" in out
+    assert "Contended" not in out
+
+
+def test_cache_subcommand_stats_and_prune(tmp_path, capsys):
+    from repro.harness.cache import ResultCache
+    from repro.harness.executor import RunSpec, run_specs
+    from repro.harness.runner import Scale
+    from repro.sim.config import BarrierDesign
+
+    cache_dir = str(tmp_path / "cache")
+    spec = RunSpec.bep("queue", BarrierDesign.LB, Scale.TINY,
+                       transactions=6)
+    run_specs([spec], jobs=1, cache=ResultCache(cache_dir))
+
+    rc = main(["cache", "--cache-dir", cache_dir, "--stats"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "result entries   : 1" in out
+
+    rc = main(["cache", "--cache-dir", cache_dir, "--prune",
+               "--max-bytes", "0", "--dry-run"])
+    assert rc == 0
+    assert "would remove 1 entries" in capsys.readouterr().out
+    rc = main(["cache", "--cache-dir", cache_dir, "--prune",
+               "--max-bytes", "0"])
+    assert rc == 0
+    assert "removed 1 entries" in capsys.readouterr().out
+    assert main(["cache", "--cache-dir", cache_dir, "--prune"]) == 2
 
 
 def test_bad_design_rejected():

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.harness.cache import CODE_VERSION, ResultCache, spec_key
+from repro.harness.cache import ResultCache, spec_key
 from repro.harness.executor import RunSpec, RunSummary, execute, run_specs
 from repro.harness.runner import Scale
 from repro.sim.config import BarrierDesign, FlushMode, PersistencyModel
@@ -154,14 +154,15 @@ def test_cache_clear(tmp_path):
     cache = ResultCache(tmp_path)
     run_specs(_bep_specs()[:1], jobs=1, cache=cache)
     assert len(cache) == 1
-    assert cache.clear() == 1
+    # clear drops the result entry and its wall-clock cost record
+    assert cache.clear() == 2
     assert len(cache) == 0
 
 
 # ----------------------------------------------------------------------
 # Cache keys
 # ----------------------------------------------------------------------
-def test_key_changes_with_config_field_seed_and_salt():
+def test_key_changes_with_config_field_seed_and_version():
     base = RunSpec.bep("queue", BarrierDesign.LB, Scale.TINY)
     keys = {
         spec_key(base),
@@ -173,7 +174,7 @@ def test_key_changes_with_config_field_seed_and_salt():
         spec_key(RunSpec.bep("queue", BarrierDesign.LB, Scale.TINY,
                              transactions=7)),           # run length
         spec_key(RunSpec.bep("sps", BarrierDesign.LB, Scale.TINY)),
-        spec_key(base, salt="other-version"),            # code salt
+        spec_key(base, versions={"engine": 999}),        # subsystem bump
     }
     assert len(keys) == 7
 
@@ -182,7 +183,9 @@ def test_key_is_stable_for_equal_specs():
     a = RunSpec.bep("queue", BarrierDesign.LB, Scale.TINY, l1_latency=4)
     b = RunSpec.bep("queue", BarrierDesign.LB, Scale.TINY, l1_latency=4)
     assert spec_key(a) == spec_key(b)
-    assert spec_key(a, CODE_VERSION) == spec_key(a)
+    # An overlay that restates the current versions is a no-op.
+    from repro.harness.cache import SUBSYSTEM_VERSIONS
+    assert spec_key(a, versions=dict(SUBSYSTEM_VERSIONS)) == spec_key(a)
 
 
 def test_bsp_key_distinguishes_epoch_stores_and_logging():
