@@ -16,6 +16,12 @@ Subcommands:
 * ``crashsweep`` -- run a workload once, capture its persist history,
   and validate the recovery invariants at *every* crash point (with an
   optional injected reorder fault as a checker self-test).
+* ``campaign`` -- systematic fault campaign: enumerate every injectable
+  protocol coordinate of a captured run (FlushEpoch edges, BankAcks,
+  PersistAcks, PersistCMP copies, controller transactions), probe each
+  one plus seeded multi-fault rounds, and triage every probe into
+  survived / aborted-clean / violation (exit nonzero on any violation,
+  each with a minimized repro command).
 * ``inspect`` -- print the machine configuration at each scale.
 
 Examples::
@@ -27,6 +33,9 @@ Examples::
     python -m repro crash --workload queue --cycle 20000
     python -m repro crashsweep --workload pingpong --transactions 10
     python -m repro crashsweep --reorder-window 6 --expect-violation
+    python -m repro campaign --workload pingpong --cores 4 --check-digests
+    python -m repro campaign --reorder-window 6 --expect-violation
+    python -m repro campaign --inject bank_ack_drop:0,1,2
     python -m repro inspect --scale paper
 """
 
@@ -156,6 +165,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"== cache {stats['root']} ==")
         print(f"result entries   : {stats['entries']} "
               f"({_fmt_bytes(stats['bytes'])})")
+        print(f"corrupt entries  : {stats['corrupt_entries']}"
+              + (" (checksum/parse failures; deleted and recomputed "
+                 "on next read)" if stats["corrupt_entries"] else ""))
         print(f"cost records     : {stats['cost_entries']} "
               f"({_fmt_bytes(stats['cost_bytes'])})")
         if stats["entries"]:
@@ -303,6 +315,115 @@ def cmd_crashsweep(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_inject(text: str):
+    """``leg:c1,c2,...`` -> ``(leg, (c1, c2, ...))``, validated."""
+    from repro.sim.faults import FAULT_LEGS
+    try:
+        leg, coords_s = text.split(":", 1)
+        coords = tuple(int(c) for c in coords_s.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--inject expects leg:c1,c2,... got {text!r}"
+        ) from None
+    if leg not in FAULT_LEGS:
+        raise argparse.ArgumentTypeError(
+            f"unknown fault leg {leg!r}; choose from {sorted(FAULT_LEGS)}"
+        )
+    return leg, coords
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Fault campaign: exhaustive singles + randomized combos, or one
+    injected combination (repro mode), or the reorder self-test."""
+    from repro.recovery import (
+        VIOLATION,
+        CampaignSpec,
+        campaign_selftest,
+        run_campaign,
+        triage,
+    )
+    from repro.recovery.campaign import run_baseline
+
+    designs = {d.name.lower(): d for d in BarrierDesign}
+    designs.update(_DESIGNS)
+    spec = CampaignSpec(
+        workload=args.workload,
+        design=designs[args.design],
+        num_cores=args.cores,
+        transactions=args.transactions,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        mc_stride=args.mc_stride,
+        tree=args.tree,
+    )
+
+    def print_entry(entry) -> None:
+        print(f"verdict          : {entry.verdict}")
+        if entry.detail:
+            print(f"detail           : {entry.detail}")
+        if entry.repro:
+            print(f"repro            : {entry.repro}")
+
+    if args.reorder_window:
+        # Checker self-test: the unsound reorder fault MUST be flagged.
+        entry = campaign_selftest(spec,
+                                  reorder_window=args.reorder_window)
+        print(f"== campaign self-test {spec.describe()} "
+              f"(reorder window {args.reorder_window}) ==")
+        print_entry(entry)
+        flagged = entry.verdict == VIOLATION
+        if args.expect_violation:
+            if not flagged:
+                print("error: expected the triage to flag a violation "
+                      "(campaign self-test failed)", file=sys.stderr)
+            return 0 if flagged else 1
+        return 1 if flagged else 0
+
+    if args.inject:
+        inject = tuple(args.inject)
+        baseline_values = (
+            run_baseline(spec).machine.image.values
+            if spec.workload == "queue" else None
+        )
+        print(f"== campaign repro {spec.describe()} ==")
+        for leg, coords in inject:
+            print(f"inject           : {leg}{coords}")
+        entry = triage(spec, inject, baseline_values)
+        print_entry(entry)
+        return 1 if entry.verdict == VIOLATION else 0
+
+    def progress(message: str) -> None:
+        if not args.quiet:
+            print(f"[campaign] {message}")
+
+    def run_once():
+        return run_campaign(
+            spec,
+            exhaustive=True,
+            random_rounds=args.random_rounds,
+            max_points=args.max_points,
+            progress=progress,
+        )
+
+    report = run_once()
+    print(f"== {report.summary()} ==")
+    for entry in report.violations:
+        print(f"VIOLATION {entry.inject}: {entry.detail}")
+        if entry.repro:
+            print(f"  repro: {entry.repro}")
+    if args.check_digests:
+        from repro.harness.bench import reference_mode
+        with reference_mode():
+            reference = run_once()
+        if reference.verdict_map() != report.verdict_map():
+            print("[campaign] ERROR: fast/reference verdict maps "
+                  "differ", file=sys.stderr)
+            return 1
+        print(f"[campaign] fast/reference parity: "
+              f"{len(report.entries)} verdicts identical")
+    return 0 if report.ok else 1
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     builders = {
         "tiny": MachineConfig.tiny,
@@ -397,14 +518,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default flushbound)")
     bench_p.add_argument("--only",
                          choices=("single", "flush", "multicore", "serving",
-                                  "scaling", "crash", "farm"),
+                                  "scaling", "crash", "campaign", "farm"),
                          default=None,
                          help="run just one bench family (skips the "
                               "matrix, crash-recovery, million, and sweep "
                               "sections; 'scaling' runs the core-count "
                               "sweep, 'crash' the exhaustive crash-point "
-                              "sweeps and fault-injection checks, 'farm' "
-                              "the planner cold/warm/sharded timings)")
+                              "sweeps and fault-injection checks, "
+                              "'campaign' the exhaustive fault campaign "
+                              "fast vs reference, 'farm' the planner "
+                              "cold/warm/sharded timings)")
     from repro.harness.bench import parse_cores
     bench_p.add_argument("--cores", type=parse_cores, default=None,
                          metavar="N,N,...",
@@ -441,6 +564,50 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--expect-violation", action="store_true",
                          help="exit 0 only if the sweep flags a violation")
     sweep_p.set_defaults(func=cmd_crashsweep)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="fault campaign: probe every injectable protocol "
+             "coordinate of a captured run (exit nonzero on any "
+             "violation)",
+    )
+    camp_p.add_argument("--workload", default="pingpong",
+                        choices=("pingpong", "queue"))
+    camp_p.add_argument("--design", default="lb_pp",
+                        help="barrier design (lb, lb_pp, LB, LB++, ...)")
+    camp_p.add_argument("--cores", type=int, default=4,
+                        help="core count for the pingpong workload")
+    camp_p.add_argument("--transactions", type=int, default=6)
+    camp_p.add_argument("--seed", type=int, default=1)
+    camp_p.add_argument("--fault-seed", type=int, default=0)
+    camp_p.add_argument("--tree", action="store_true",
+                        help="route FlushEpoch down the fanout tree "
+                             "(per-edge fault coverage)")
+    camp_p.add_argument("--mc-stride", type=int, default=1,
+                        help="probe every Nth controller transaction "
+                             "ordinal (thins the mc legs)")
+    camp_p.add_argument("--max-points", type=int, default=None,
+                        help="cap the exhaustive enumeration "
+                             "(deterministic prefix; smoke mode)")
+    camp_p.add_argument("--random-rounds", type=int, default=0,
+                        help="seeded multi-fault rounds on top of the "
+                             "exhaustive singles")
+    camp_p.add_argument("--inject", action="append", type=_parse_inject,
+                        default=None, metavar="LEG:C1,C2,...",
+                        help="repro mode: triage exactly this fault "
+                             "combination (repeatable)")
+    camp_p.add_argument("--reorder-window", type=int, default=0,
+                        help="self-test mode: run the unsound reorder "
+                             "fault through the triage")
+    camp_p.add_argument("--expect-violation", action="store_true",
+                        help="with --reorder-window: exit 0 only if "
+                             "the triage flags a violation")
+    camp_p.add_argument("--check-digests", action="store_true",
+                        help="re-run the campaign on the reference "
+                             "engine and require identical verdicts")
+    camp_p.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines")
+    camp_p.set_defaults(func=cmd_campaign)
 
     inspect_p = sub.add_parser("inspect", help="print a machine config")
     inspect_p.add_argument("--scale", default="small",

@@ -60,6 +60,10 @@ class Arbiter:
         self._n_ack_drops = 0
         self._n_ack_retries = 0
         self._n_ack_delays = 0
+        # Generic fault-leg counters (FlushEpoch drops/dups, link
+        # delays, PersistCMP drops, ...): keyed by stat name, merged by
+        # flush_hot_stats() exactly like the dedicated ack counters.
+        self._n_faults: dict = {}
 
     # ------------------------------------------------------------------
     # Fault-injection accounting (called by the flush operation)
@@ -82,6 +86,14 @@ class Arbiter:
         else:
             self._stats.bump("flush_ack_delays")
 
+    def note_fault(self, key: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of fault leg ``key`` (a stat
+        name like ``flush_epoch_drops``)."""
+        if self._fast:
+            self._n_faults[key] = self._n_faults.get(key, 0) + count
+        else:
+            self._stats.bump(key, count)
+
     def flush_hot_stats(self) -> None:
         """Merge the attribute-held ack-fault counters into the stat
         domain (idempotent; the machine calls this at run end)."""
@@ -94,6 +106,10 @@ class Arbiter:
         if self._n_ack_delays:
             self._stats.bump("flush_ack_delays", self._n_ack_delays)
             self._n_ack_delays = 0
+        if self._n_faults:
+            for key, count in sorted(self._n_faults.items()):
+                self._stats.bump(key, count)
+            self._n_faults.clear()
 
     # ------------------------------------------------------------------
     # Requests

@@ -70,6 +70,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.epoch import Epoch
 from repro.sim.config import FanoutTopology, FlushMode, HandshakeProtocol
+from repro.sim.faults import ProtocolError, backoff_cycles
 from repro.sim.stats import HandshakeStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -95,13 +96,7 @@ _ACKED = 4
 _NULL_HANDSHAKE = HandshakeStats()
 
 
-class ProtocolError(RuntimeError):
-    """The flush handshake's state machine was violated.
-
-    Raised when a bank acks twice, or when an ack-retry timeout fires
-    for a bank that is no longer waiting -- both indicate a simulator
-    bug (or a fault-injection hole), never a legal protocol state.
-    """
+__all__ = ["FlushOperation", "ProtocolError", "FLUSH_PIPELINE_INTERVAL"]
 
 
 class FlushOperation:
@@ -117,7 +112,8 @@ class FlushOperation:
         "_stats", "_ideal", "_invalidate", "_num_banks", "_epoch",
         "_bank_outstanding", "_bank_state", "_bank_sched", "_bank_pos",
         "_bank_cbs", "_acks_received", "_line_shift", "_n_mcs",
-        "_faults", "_arbiter", "_tree_mode", "_ack_cost", "_cmp_msgs",
+        "_faults", "_arbiter", "_tree_mode", "_tree_parents",
+        "_ack_cost", "_cmp_msgs",
         "_acked_template", "_used", "_delivery", "_bcast_delay",
         "_ack_deadline", "_rt_desc", "_rt_core", "_handshake_all",
         "_hs", "_flush_msgs",
@@ -146,6 +142,9 @@ class FlushOperation:
         self._tree_mode = (
             self._config.fanout_topology is FanoutTopology.TREE
         )
+        # Parent bank per fanout-tree edge (TREE mode only): fault
+        # extras on an edge delay the whole subtree hanging off it.
+        self._tree_parents: Optional[Tuple[int, ...]] = None
         n = self._config.llc_banks
         self._num_banks = n
         # Message cost of one logical BankAck.  The arbiter protocol
@@ -211,9 +210,11 @@ class FlushOperation:
             tree = self._mesh.flush_tree(core)
             self._delivery = tree.delivery
             self._bcast_delay = tree.bcast
+            self._tree_parents = tree.parents
         else:
             self._delivery = self._mesh.c2b[core]
             self._bcast_delay = self._mesh.broadcast_from_core(core)
+            self._tree_parents = None
         if self._rt_core != core:
             delivery = self._delivery
             self._rt_desc = sorted(
@@ -246,6 +247,73 @@ class FlushOperation:
             if bank not in used:
                 return now + 2 * delivery[bank]
         return now
+
+    # ------------------------------------------------------------------
+    def _fault_delivery_extras(
+        self, core: int, seq: int, banks
+    ) -> Tuple[Dict[int, int], int]:
+        """FlushEpoch-leg fault perturbations for this flush's banks.
+
+        Each fanout edge (keyed by its child bank; under the flat star
+        every bank is a root child) independently draws its FlushEpoch
+        drop/duplication/link-delay faults.  Returns ``(extras, msgs)``:
+        ``extras[bank]`` is the extra delivery latency of the bank's
+        FlushEpoch copy -- under TREE the sum over every edge on the
+        root-to-bank path, so a faulted edge delays its whole subtree --
+        and ``msgs`` the extra FlushEpoch messages (retransmissions plus
+        duplicates) to charge.  A dropped copy is retransmitted by the
+        arbiter after ``flush_epoch_timeout`` with exponential backoff;
+        the watchdog turns a chain past ``max_flush_epoch_retries`` into
+        a :class:`ProtocolError`.
+        """
+        faults = self._faults
+        cfg = faults.config
+        mesh = self._mesh
+        arb = self._arbiter
+        parents = self._tree_parents
+        edge_extra: Dict[int, int] = {}
+        extras: Dict[int, int] = {}
+        msgs = 0
+        for bank in banks:
+            total = 0
+            b = bank
+            while b >= 0:
+                cached = edge_extra.get(b)
+                if cached is None:
+                    cached = 0
+                    resends = faults.flush_epoch_resends(core, b, seq)
+                    if resends:
+                        if resends > cfg.max_flush_epoch_retries:
+                            raise ProtocolError(
+                                f"FlushEpoch retry chain for edge {b} of "
+                                f"core {core} epoch seq {seq} exceeded "
+                                f"bound {cfg.max_flush_epoch_retries} "
+                                f"({resends} resends)"
+                            )
+                        cached += backoff_cycles(
+                            cfg.flush_epoch_timeout, resends
+                        )
+                        msgs += resends
+                        if arb is not None:
+                            arb.note_fault("flush_epoch_drops", resends)
+                    if faults.flush_epoch_dup(core, b, seq):
+                        # The duplicate copy is ignored by the bank (the
+                        # handshake is idempotent); only the message
+                        # count observes it.
+                        msgs += 1
+                        if arb is not None:
+                            arb.note_fault("flush_epoch_dups")
+                    hops = faults.link_delay(core, b, seq)
+                    if hops:
+                        cached += mesh.detour_latency(hops)
+                        if arb is not None:
+                            arb.note_fault("flush_link_delays")
+                    edge_extra[b] = cached
+                total += cached
+                b = parents[b] if parents is not None else -1
+            if total:
+                extras[bank] = total
+        return extras, msgs
 
     # ------------------------------------------------------------------
     def begin(self, epoch: Epoch) -> None:
@@ -291,6 +359,13 @@ class FlushOperation:
         # of a lookup call per line in the per-bank loop below.
         l1_resident = l1.dirty_under(epoch_lines, epoch)
         seq = epoch.seq
+        faults = self._faults
+        fault_extras: Optional[Dict[int, int]] = None
+        fe_msgs = 0
+        if faults is not None and faults.flush_epoch_active:
+            fault_extras, fe_msgs = self._fault_delivery_extras(
+                core, seq, sorted(per_bank)
+            )
         state = self._bank_state
         state[:] = self._acked_template
         sched = self._bank_sched
@@ -301,6 +376,8 @@ class FlushOperation:
             lines = per_bank[bank]
             used.append(bank)
             hop = 0 if ideal else delivery[bank]
+            if fault_extras is not None:
+                hop += fault_extras.get(bank, 0)
             state[bank] = _ISSUING
             base = now + hop
             if len(lines) == 1:
@@ -390,6 +467,10 @@ class FlushOperation:
         hs.flush_epoch_msgs += num_banks
         hs.bank_ack_msgs += n_empty * self._ack_cost
         self._flush_msgs = num_banks + n_empty * self._ack_cost
+        if fe_msgs:
+            # Fault extras: FlushEpoch retransmissions and duplicates.
+            hs.flush_epoch_msgs += fe_msgs
+            self._flush_msgs += fe_msgs
 
         # Step 3 degenerate case: the idle banks ack the moment
         # FlushEpoch arrives.  Those acks are virtual -- pre-counted
@@ -430,7 +511,16 @@ class FlushOperation:
         used.clear()
         used.append(bank)
 
-        t = now + (0 if ideal else self._delivery[bank])
+        faults = self._faults
+        fe_msgs = 0
+        fe_extra = 0
+        if faults is not None and faults.flush_epoch_active:
+            fault_extras, fe_msgs = self._fault_delivery_extras(
+                core, epoch.seq, (bank,)
+            )
+            fe_extra = fault_extras.get(bank, 0)
+
+        t = now + (0 if ideal else self._delivery[bank]) + fe_extra
         l1_entry = machine.l1s[core].lookup(line)
         in_l1 = (
             l1_entry is not None
@@ -452,6 +542,9 @@ class FlushOperation:
         hs.flush_epoch_msgs += num_banks
         hs.bank_ack_msgs += (num_banks - 1) * self._ack_cost
         self._flush_msgs = num_banks + (num_banks - 1) * self._ack_cost
+        if fe_msgs:
+            hs.flush_epoch_msgs += fe_msgs
+            self._flush_msgs += fe_msgs
 
         # Idle acks, virtualised exactly as in the generic path.
         self._acks_received = num_banks - 1
@@ -634,9 +727,17 @@ class FlushOperation:
         Every transmission counts toward the message totals -- dropped
         acks were sent; the network lost them.
         """
+        faults = self._faults
+        if attempt > faults.config.max_ack_retries:
+            # Simulated-time watchdog: the injector promises the
+            # transmission at the bound is delivered, so a chain this
+            # long means the retry machinery itself is broken.
+            raise ProtocolError(
+                f"BankAck retry chain for bank {bank} exceeded bound "
+                f"{faults.config.max_ack_retries} (attempt {attempt})"
+            )
         self._hs.bank_ack_msgs += self._ack_cost
         self._flush_msgs += self._ack_cost
-        faults = self._faults
         epoch = self._epoch
         core = epoch.core_id
         seq = epoch.seq
@@ -688,12 +789,61 @@ class FlushOperation:
         # not necessarily at the cycle this ran.
         self._hs.persist_cmp_msgs += self._cmp_msgs
         self._flush_msgs += self._cmp_msgs
+        faults = self._faults
+        extra = 0
+        if (
+            faults is not None
+            and faults.persist_cmp_active
+            and self._cmp_msgs
+        ):
+            extra = self._persist_cmp_fault_extra()
         engine = self._engine
         lag = self._ack_deadline - engine.now
         if lag < 0:
             lag = 0
         bcast = 0 if self._ideal else self._bcast_delay
-        engine.schedule_call(lag + bcast, self._persist_cmp)
+        engine.schedule_call(lag + bcast + extra, self._persist_cmp)
+
+    def _persist_cmp_fault_extra(self) -> int:
+        """PersistCMP-loss fold: retransmission cost of the completion
+        broadcast.
+
+        Each bank's copy of PersistCMP independently draws its loss
+        chain; a lost copy is retransmitted after
+        ``persist_cmp_timeout`` with exponential backoff.  The epoch is
+        complete only when every bank heard the broadcast, so the
+        completion event slips by the *worst* per-bank chain; every
+        retransmission is charged as a message.  Bounded by
+        ``max_persist_cmp_retries`` with the watchdog raising
+        :class:`ProtocolError` past it.
+        """
+        faults = self._faults
+        cfg = faults.config
+        epoch = self._epoch
+        core = epoch.core_id
+        seq = epoch.seq
+        worst = 0
+        total = 0
+        for bank in range(self._num_banks):
+            resends = faults.persist_cmp_resends(core, bank, seq)
+            if not resends:
+                continue
+            if resends > cfg.max_persist_cmp_retries:
+                raise ProtocolError(
+                    f"PersistCMP retry chain for bank {bank} of core "
+                    f"{core} epoch seq {seq} exceeded bound "
+                    f"{cfg.max_persist_cmp_retries} ({resends} resends)"
+                )
+            total += resends
+            stall = backoff_cycles(cfg.persist_cmp_timeout, resends)
+            if stall > worst:
+                worst = stall
+        if total:
+            self._hs.persist_cmp_msgs += total
+            self._flush_msgs += total
+            if self._arbiter is not None:
+                self._arbiter.note_fault("flush_cmp_drops", total)
+        return worst
 
     def _persist_cmp(self) -> None:
         epoch = self._epoch

@@ -21,7 +21,14 @@ Command line::
 """
 
 from repro.harness.cache import ResultCache
-from repro.harness.executor import RunSpec, RunSummary, run_specs
+from repro.harness.executor import (
+    FarmError,
+    FarmHealth,
+    RunSpec,
+    RunSummary,
+    execute_resilient,
+    run_specs,
+)
 from repro.harness.runner import (
     Scale,
     bep_machine_config,
@@ -31,10 +38,13 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "FarmError",
+    "FarmHealth",
     "ResultCache",
     "RunSpec",
     "RunSummary",
     "Scale",
+    "execute_resilient",
     "bep_machine_config",
     "bsp_machine_config",
     "run_bep",

@@ -1026,6 +1026,65 @@ def run_crash_sweep_bench(seed: int = 1) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Fault campaign (``--only campaign``)
+# ----------------------------------------------------------------------
+def run_campaign_bench(seed: int = 1) -> dict:
+    """The ``--only campaign`` section: a small exhaustive single-fault
+    campaign over the contended pingpong run, fast vs reference engine.
+
+    Both engines must produce *identical* verdict maps (the injector
+    draws from stable simulated coordinates, so a mismatch means the
+    engines diverged) and zero violations; the reorder self-test run
+    through the same triage must be flagged as a violation in both.
+    """
+    from repro.recovery import (
+        VIOLATION,
+        CampaignSpec,
+        campaign_selftest,
+        run_campaign,
+    )
+
+    spec = CampaignSpec(workload="pingpong", num_cores=2, transactions=3,
+                        seed=seed, mc_stride=2)
+    start = time.perf_counter()
+    fast = run_campaign(spec, random_rounds=2)
+    fast_wall = time.perf_counter() - start
+    with reference_mode():
+        ref = run_campaign(spec, random_rounds=2)
+    parity = fast.verdict_map() == ref.verdict_map()
+    campaign = {
+        "spec": spec.describe(),
+        "runs": len(fast.entries),
+        "exhaustive_points": fast.exhaustive_points,
+        "random_rounds": fast.random_rounds,
+        "survived": fast.survived,
+        "aborted_clean": fast.aborted,
+        "violations": len(fast.violations),
+        "wall_seconds": round(fast_wall, 3),
+        "parity": parity,
+        "match": parity and fast.ok and ref.ok,
+    }
+    print(f"[bench] {fast.summary()}; fast/reference verdicts "
+          f"{'match' if parity else 'MISMATCH'} ({fast_wall:.1f}s)")
+
+    selftest_fast = campaign_selftest(spec)
+    with reference_mode():
+        selftest_ref = campaign_selftest(spec)
+    flagged = (selftest_fast.verdict == VIOLATION
+               and selftest_ref.verdict == VIOLATION)
+    selftest = {
+        "fast": selftest_fast.verdict,
+        "reference": selftest_ref.verdict,
+        "repro": selftest_fast.repro,
+        "match": flagged,
+    }
+    print(f"[bench] campaign self-test: "
+          f"{'caught' if flagged else 'MISSED'} the reorder fault in "
+          f"both modes")
+    return {"campaign": campaign, "selftest": selftest}
+
+
+# ----------------------------------------------------------------------
 # Core-count scaling sweep (``--only scaling``)
 # ----------------------------------------------------------------------
 def parse_cores(text: str) -> Tuple[int, ...]:
@@ -1611,6 +1670,12 @@ def digests_ok(record: dict) -> bool:
             row = crash_sweep.get(key)
             if row and not row.get("match"):
                 return False
+    campaign = record.get("campaign")
+    if campaign:
+        for key in ("campaign", "selftest"):
+            row = campaign.get(key)
+            if row and not row.get("match"):
+                return False
     farm = record.get("farm")
     if farm:
         for invariant in ("warm_noop", "sharded_complete",
@@ -1631,8 +1696,9 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
     ``only`` restricts the run to one bench family (``"single"``,
     ``"flush"``, ``"multicore"``, ``"serving"``, ``"scaling"`` -- the
     core-count sweep -- ``"crash"`` -- the exhaustive crash-point
-    sweeps plus fault injection -- or ``"farm"`` -- the delta-planner
-    cold/warm/sharded timings) for CI smoke jobs; the full matrix,
+    sweeps plus fault injection -- ``"campaign"`` -- the exhaustive
+    fault campaign fast vs reference -- or ``"farm"`` -- the
+    delta-planner cold/warm/sharded timings) for CI smoke jobs; the full matrix,
     crash-recovery, million-transaction, and sweep-executor sections
     run only in the unrestricted mode.  A restricted run regenerates
     only its own section: every other family present in the existing
@@ -1680,6 +1746,8 @@ def run_bench(jobs: int = 4, seed: int = 1, output: str = DEFAULT_OUTPUT,
             seed=seed, cores=cores or _SCALING_CORES)
     if only in (None, "crash"):
         record["crash_sweep"] = run_crash_sweep_bench(seed=seed)
+    if only in (None, "campaign"):
+        record["campaign"] = run_campaign_bench(seed=seed)
     if only in (None, "farm"):
         record["farm"] = run_farm_bench(jobs=jobs, seed=seed)
     if only is None:
@@ -1744,14 +1812,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {_FLUSH_RUN_BENCHMARK})")
     parser.add_argument("--only",
                         choices=("single", "flush", "multicore", "serving",
-                                 "scaling", "crash", "farm"),
+                                 "scaling", "crash", "campaign", "farm"),
                         default=None,
                         help="run just one bench family (skips the "
                              "matrix, crash-recovery, million, and sweep "
                              "sections; 'scaling' runs the core-count "
                              "sweep, 'crash' the exhaustive crash-point "
-                             "sweeps and fault-injection checks, 'farm' "
-                             "the planner cold/warm/sharded timings)")
+                             "sweeps and fault-injection checks, "
+                             "'campaign' the exhaustive fault campaign "
+                             "fast vs reference, 'farm' the planner "
+                             "cold/warm/sharded timings)")
     parser.add_argument("--cores", type=parse_cores, default=None,
                         metavar="N,N,...",
                         help="core counts for the scaling sweep: powers "

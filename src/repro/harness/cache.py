@@ -42,7 +42,23 @@ which every spec declares.
 Version history: the four core subsystems start at 8, carrying on from
 the retired ``sweep-v7`` whole-cache salt (the key-format change
 orphans pre-v8 entries exactly once; see the git history of this file
-for the v1-v7 log).
+for the v1-v7 log).  ``mem``/``flush`` 8 -> 9: protocol-wide fault
+injection wired retry/timeout state machines into the flush handshake
+and the NVRAM write path (fault-free runs are digest-identical, but
+the blast radius spans both subsystems -- when in doubt, bump).
+
+Torn-entry detection
+--------------------
+
+Each entry embeds a SHA-256 ``checksum`` over its summary payload,
+verified on every read.  A torn or bit-flipped entry (power cut
+mid-``os.replace`` on a non-atomic filesystem, disk corruption on a
+long-lived farm host) is logged to stderr, deleted, and counted
+(``corrupt`` on the instance, ``corrupt_entries`` in :meth:`stats`);
+the read reports a miss, so the spec transparently reruns and the
+rewritten entry heals the cache.  Entries written before the checksum
+existed verify as legacy (no checksum, accepted as-is) until their
+next version bump rewrites them.
 
 Entries live as individual JSON files under ``.repro-cache/`` (one file
 per key, atomically written), so concurrent sweeps, shards, and pool
@@ -61,6 +77,7 @@ import enum
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -76,8 +93,8 @@ from repro.sim.config import MachineConfig, PersistencyModel
 # ``_DEFAULT_SUBSYSTEM_VERSION``.
 SUBSYSTEM_VERSIONS: Dict[str, int] = {
     "engine": 8,
-    "mem": 8,
-    "flush": 8,
+    "mem": 9,
+    "flush": 9,
     "bsp": 8,
 }
 
@@ -192,6 +209,7 @@ class ResultCache:
         self.versions = dict(versions) if versions is not None else None
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0  # torn/corrupted entries discarded on read
 
     # ------------------------------------------------------------------
     def key_for(self, spec: RunSpec) -> str:
@@ -224,11 +242,23 @@ class ResultCache:
         path = self._path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                data = json.load(handle)
+                raw = handle.read()
+        except OSError:
+            # Missing entry: a plain miss.
+            self.misses += 1
+            return None
+        try:
+            data = json.loads(raw)
+            checksum = data.get("checksum")
+            if (checksum is not None
+                    and checksum != _digest(data["summary"])):
+                raise ValueError("payload checksum mismatch")
             summary = RunSummary.from_dict(data["summary"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Missing, truncated, or stale-format entry: treat as a miss
-            # (a refresh will overwrite it).
+        except (ValueError, KeyError, TypeError):
+            # The file exists but its payload is torn, bit-flipped, or
+            # stale-format: warn, delete, count, and miss -- the rerun
+            # rewrites a good entry.
+            self._discard_corrupt(path, key)
             self.misses += 1
             return None
         self.hits += 1
@@ -241,6 +271,18 @@ class ResultCache:
             pass
         return summary
 
+    def _discard_corrupt(self, path: Path, key: str) -> None:
+        self.corrupt += 1
+        print(
+            f"[cache] corrupt entry {key[:16]}... "
+            "(checksum/parse failure): deleting, will recompute",
+            file=sys.stderr,
+        )
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def put(self, spec: RunSpec, summary: RunSummary,
             wall_seconds: Optional[float] = None) -> Path:
         key, cost_key = self.fingerprints(spec)
@@ -252,11 +294,15 @@ class ResultCache:
                    cost_key: Optional[str] = None) -> Path:
         path = self._path_for(key)
         self.root.mkdir(parents=True, exist_ok=True)
+        payload = summary.to_dict()
         record = {
             "key": key,
             "versions": scoped_versions(spec, self.versions),
             "spec": spec.describe(),
-            "summary": summary.to_dict(),
+            "summary": payload,
+            # Torn-write detection: verified on every read (see the
+            # module docstring).
+            "checksum": _digest(payload),
         }
         if wall_seconds is not None:
             record["wall_seconds"] = round(wall_seconds, 4)
@@ -307,11 +353,29 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Farm-host hygiene: stats and pruning
     # ------------------------------------------------------------------
+    def verify_entry(self, path: Path) -> bool:
+        """True when the entry at ``path`` parses and its checksum (if
+        present -- legacy entries have none) matches its payload."""
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            checksum = data.get("checksum")
+            if (checksum is not None
+                    and checksum != _digest(data["summary"])):
+                return False
+            RunSummary.from_dict(data["summary"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        return True
+
     def stats(self, now: Optional[float] = None) -> Dict[str, Any]:
-        """Entry counts, byte totals, and last-use (mtime) age spread."""
+        """Entry counts, byte totals, corrupt-entry count (every entry
+        is checksum-verified, read-only), and last-use (mtime) age
+        spread."""
         now = time.time() if now is None else now
         entries = 0
         total_bytes = 0
+        corrupt_entries = 0
         ages = []
         if self.root.is_dir():
             for path in _record_files(self.root):
@@ -321,6 +385,8 @@ class ResultCache:
                     continue
                 entries += 1
                 total_bytes += stat.st_size
+                if not self.verify_entry(path):
+                    corrupt_entries += 1
                 ages.append(max(0.0, now - stat.st_mtime))
         cost_entries = 0
         cost_bytes = 0
@@ -336,6 +402,7 @@ class ResultCache:
             "root": str(self.root),
             "entries": entries,
             "bytes": total_bytes,
+            "corrupt_entries": corrupt_entries,
             "cost_entries": cost_entries,
             "cost_bytes": cost_bytes,
             "newest_age_s": round(min(ages), 1) if ages else None,

@@ -19,16 +19,33 @@ were given, regardless of completion order.
   in-process (the debugging path); ``jobs>1`` uses a
   ``ProcessPoolExecutor``.  An optional result cache is consulted
   before dispatch and populated afterwards.
+* :func:`execute_resilient` -- the self-healing pool driver underneath
+  :func:`run_specs` and the plan runner.  A worker death
+  (``BrokenProcessPool``) or a per-spec wall-clock timeout kills and
+  respawns the pool with the surviving specs; a spec that takes a pool
+  down ``max_attempts`` times is quarantined instead of wedging the
+  sweep forever.  :class:`FarmHealth` reports what the driver had to
+  do.
+
+Because every run is a pure function of its spec, a respawned rerun of
+a surviving spec produces the bit-identical summary the first attempt
+would have -- resilience never perturbs results, only wall-clock.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.harness.runner import (
     Scale,
@@ -266,6 +283,43 @@ def execute(spec: RunSpec) -> RunSummary:
     return RunSummary.from_result(spec, result)
 
 
+def _maybe_inject_farm_fault(spec: RunSpec) -> None:
+    """Deterministic worker-fault hook for the resilience tests and CI.
+
+    Driven by the ``REPRO_FARM_FAULT`` environment variable (inherited
+    by pool workers), so a test can make exactly one worker die -- or
+    one spec hang -- without patching pool internals:
+
+    * ``crash-once:<workload>:<sentinel-path>`` -- the first worker to
+      pick up a spec of ``<workload>`` creates the sentinel file
+      (``O_CREAT | O_EXCL``, so concurrent workers race safely) and
+      hard-exits, taking its pool down; every later attempt finds the
+      sentinel and runs normally.  Exercises the respawn path.
+    * ``hang:<workload>`` -- every attempt at ``<workload>`` sleeps
+      past any reasonable timeout.  Exercises the timeout-kill and
+      quarantine paths.
+    """
+    directive = os.environ.get("REPRO_FARM_FAULT")
+    if not directive:
+        return
+    if multiprocessing.parent_process() is None:
+        # Worker faults only make sense in pool workers; firing in the
+        # serial in-process path would take the caller down with no
+        # pool to heal it.
+        return
+    parts = directive.split(":", 2)
+    if parts[0] == "crash-once" and len(parts) == 3:
+        if spec.workload != parts[1]:
+            return
+        try:
+            os.close(os.open(parts[2], os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        except FileExistsError:
+            return
+        os._exit(86)
+    elif parts[0] == "hang" and len(parts) >= 2 and spec.workload == parts[1]:
+        time.sleep(3600)
+
+
 def execute_timed(spec: RunSpec) -> Tuple[RunSummary, float]:
     """:func:`execute` plus the run's wall-clock seconds.
 
@@ -273,9 +327,215 @@ def execute_timed(spec: RunSpec) -> Tuple[RunSummary, float]:
     taken inside the worker, so pool scheduling latency is excluded and
     the recorded cost approximates the run itself.
     """
+    _maybe_inject_farm_fault(spec)
     start = time.perf_counter()
     summary = execute(spec)
     return summary, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Self-healing execution
+# ----------------------------------------------------------------------
+_POLL_SECONDS = 0.2
+
+
+class FarmError(RuntimeError):
+    """A resilient sweep could not complete every spec: after the
+    configured number of attempts some specs were quarantined."""
+
+
+@dataclass
+class FarmHealth:
+    """What the self-healing executor had to do to finish a sweep.
+
+    ``attempts`` maps a spec's :meth:`RunSpec.describe` string to how
+    many failed attempts it accumulated; specs that reach
+    ``max_attempts`` move to ``quarantined`` and are dropped from the
+    sweep rather than allowed to take the pool down forever.
+    """
+
+    respawns: int = 0      # pool rebuilds after worker death / kill
+    timeouts: int = 0      # specs that exceeded the wall-clock timeout
+    attempts: Dict[str, int] = field(default_factory=dict)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.respawns or self.timeouts or self.quarantined)
+
+    def describe(self) -> str:
+        if self.clean:
+            return "farm healthy: no worker faults"
+        parts = [f"{self.respawns} pool respawn(s)",
+                 f"{self.timeouts} spec timeout(s)"]
+        if self.quarantined:
+            parts.append("quarantined: " + ", ".join(self.quarantined))
+        return "; ".join(parts)
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every worker process of a pool (used when a spec blows
+    its wall-clock timeout: there is no cooperative way to interrupt a
+    busy pool worker)."""
+    processes = getattr(pool, "_processes", None)
+    for process in list((processes or {}).values()):
+        try:
+            process.kill()
+        except OSError:  # pragma: no cover - already-dead race
+            pass
+
+
+def _pool_generation(
+    pending: Dict[int, RunSpec],
+    workers: int,
+    timeout: Optional[float],
+    deliver: Callable[[int, RunSummary, float], None],
+    should_stop: Optional[Callable[[], bool]],
+    health: FarmHealth,
+) -> Tuple[bool, Set[int]]:
+    """One process-pool lifetime over ``pending``.
+
+    Runs until every pending spec completes, the pool breaks (worker
+    death), a spec exceeds ``timeout`` (the pool is then killed), or
+    ``should_stop`` fires.  Completed specs are handed to ``deliver``
+    (which removes them from ``pending``); the return value is
+    ``(broke, suspects)`` where ``suspects`` are the indices that were
+    running when the pool went down -- the candidates to charge an
+    attempt to.
+    """
+    suspects: Set[int] = set()
+    stopping = False
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = {pool.submit(execute_timed, spec): index
+                   for index, spec in pending.items()}
+        running_since: Dict[Any, float] = {}
+        while futures:
+            done, _ = wait(list(futures), timeout=_POLL_SECONDS,
+                           return_when=FIRST_COMPLETED)
+            broke = False
+            for future in done:
+                index = futures.pop(future)
+                was_running = running_since.pop(future, None) is not None
+                if future.cancelled():
+                    continue
+                error = future.exception()
+                if error is None:
+                    summary, wall = future.result()
+                    deliver(index, summary, wall)
+                    continue
+                if isinstance(error, BrokenProcessPool):
+                    # A worker died; every sibling future breaks too.
+                    # Only futures that were *running* are plausible
+                    # culprits -- queued ones were never dispatched.
+                    broke = True
+                    if was_running:
+                        suspects.add(index)
+                    continue
+                raise error
+            if broke:
+                for future, index in futures.items():
+                    if future in running_since or future.running():
+                        suspects.add(index)
+                return True, suspects
+            now = time.monotonic()
+            for future in futures:
+                if future.running() and future not in running_since:
+                    running_since[future] = now
+            if timeout is not None:
+                for future, since in running_since.items():
+                    if now - since > timeout:
+                        health.timeouts += 1
+                        suspects.add(futures[future])
+                        _kill_pool_workers(pool)
+                        return True, suspects
+            if not stopping and should_stop is not None and should_stop():
+                stopping = True
+                for future in futures:
+                    future.cancel()
+        return False, suspects
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def execute_resilient(
+    tasks: Dict[int, RunSpec],
+    jobs: int,
+    *,
+    timeout: Optional[float] = None,
+    max_attempts: int = 2,
+    health: Optional[FarmHealth] = None,
+    force_pool: bool = False,
+    on_result: Optional[Callable[[int, RunSummary, float], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> Dict[int, Tuple[RunSummary, float]]:
+    """Execute ``tasks`` (index -> spec) with worker-death resilience.
+
+    Dispatch order follows ``tasks``'s iteration order (callers pass an
+    LPT-ordered dict).  Returns ``{index: (summary, wall_seconds)}``
+    for every task that completed; quarantined or stopped tasks are
+    simply absent.  ``on_result`` fires as each result lands (the plan
+    runner persists and checkpoints there); ``should_stop`` is polled
+    between completions and stops dispatching new work when it returns
+    True (in-flight work still completes and is delivered).
+
+    ``jobs <= 1`` (or a single task, unless ``force_pool``) runs
+    serially in-process: no pool means no crash/timeout protection,
+    which is the debugging path's contract already.  With a pool, a
+    ``BrokenProcessPool`` or a spec running past ``timeout`` seconds
+    kills the pool and respawns it with the surviving specs; each
+    suspect spec is charged one attempt, and a spec reaching
+    ``max_attempts`` is quarantined (recorded in ``health``, never
+    rerun).  Reruns of surviving specs are bit-identical to their first
+    attempt -- runs are pure functions of the spec -- so resilience
+    never changes results.
+    """
+    if health is None:
+        health = FarmHealth()
+    results: Dict[int, Tuple[RunSummary, float]] = {}
+    pending: Dict[int, RunSpec] = dict(tasks)
+    attempts: Dict[int, int] = {}
+
+    def deliver(index: int, summary: RunSummary, wall: float) -> None:
+        results[index] = (summary, wall)
+        pending.pop(index, None)
+        if on_result is not None:
+            on_result(index, summary, wall)
+
+    if not force_pool and (jobs <= 1 or len(pending) <= 1):
+        for index, spec in list(pending.items()):
+            if should_stop is not None and should_stop():
+                break
+            summary, wall = execute_timed(spec)
+            deliver(index, summary, wall)
+        return results
+
+    while pending:
+        if should_stop is not None and should_stop():
+            break
+        workers = max(1, min(jobs, len(pending)))
+        broke, suspects = _pool_generation(
+            pending, workers, timeout, deliver, should_stop, health
+        )
+        if not broke:
+            break
+        health.respawns += 1
+        if not suspects:
+            # The pool died before any future was observed running
+            # (sub-poll-interval crash).  Charge everyone still pending:
+            # harsh, but it bounds the respawn loop.
+            suspects = set(pending)
+        for index in sorted(suspects):
+            spec = pending.get(index)
+            if spec is None:
+                continue
+            count = attempts.get(index, 0) + 1
+            attempts[index] = count
+            health.attempts[spec.describe()] = count
+            if count >= max_attempts:
+                health.quarantined.append(spec.describe())
+                del pending[index]
+    return results
 
 
 def default_jobs() -> int:
@@ -326,6 +586,8 @@ def run_specs(
     jobs: Optional[int] = None,
     cache=None,
     refresh: bool = False,
+    timeout: Optional[float] = None,
+    health: Optional[FarmHealth] = None,
 ) -> List[RunSummary]:
     """Execute ``specs`` and return summaries in spec order.
 
@@ -338,8 +600,13 @@ def run_specs(
     per phase is measurable on thousand-spec plans).
 
     Cache misses are executed longest-first by recorded wall-clock cost
-    (see :func:`order_longest_first`); completion order never reorders
-    the output, so any ``jobs`` value yields the same list.
+    (see :func:`order_longest_first`) via :func:`execute_resilient`, so
+    a worker death or a spec blowing ``timeout`` seconds respawns the
+    pool instead of aborting the sweep; completion order never reorders
+    the output, so any ``jobs`` value yields the same list.  If a spec
+    gets quarantined, a :exc:`FarmError` is raised -- unless the caller
+    passed a ``health`` sink, in which case the quarantined slots come
+    back ``None`` and the sink says why.
     """
     jobs = resolve_jobs(jobs)
     summaries: List[Optional[RunSummary]] = [None] * len(specs)
@@ -364,25 +631,29 @@ def run_specs(
                 for index in misses
             }
             misses = order_longest_first(misses, costs)
+        own_health = health if health is not None else FarmHealth()
+        completed = execute_resilient(
+            {index: specs[index] for index in misses}, jobs,
+            timeout=timeout, health=own_health,
+        )
         walls: Dict[int, float] = {}
-        if jobs == 1 or len(misses) == 1:
-            for index in misses:
-                summaries[index], walls[index] = execute_timed(specs[index])
-        else:
-            workers = min(jobs, len(misses))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_timed, specs[index]): index
-                    for index in misses
-                }
-                for future in as_completed(futures):
-                    index = futures[future]
-                    summaries[index], walls[index] = future.result()
+        for index, (summary, wall) in completed.items():
+            summaries[index] = summary
+            walls[index] = wall
+        if not own_health.clean:
+            print(f"[executor] {own_health.describe()}", file=sys.stderr)
         if cache is not None:
             for index in misses:
+                if summaries[index] is None:
+                    continue
                 key, cost_key = fingerprints[index]
                 cache.put_by_key(key, specs[index], summaries[index],
                                  wall_seconds=walls[index],
                                  cost_key=cost_key)
+        if own_health.quarantined and health is None:
+            raise FarmError(
+                "specs quarantined after repeated worker faults: "
+                + ", ".join(own_health.quarantined)
+            )
 
     return summaries  # type: ignore[return-value]

@@ -33,17 +33,18 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.harness.cache import ResultCache
 from repro.harness.executor import (
+    FarmHealth,
     RunSpec,
-    execute_timed,
+    execute_resilient,
     resolve_jobs,
 )
 
@@ -219,6 +220,7 @@ class PlanRunReport:
     remaining: int         # pending specs left (budget cut or cancelled)
     elapsed: float         # wall-clock seconds spent
     over_budget: bool      # True when the deadline stopped the run
+    quarantined: int = 0   # specs dropped after repeated worker faults
 
     @property
     def complete(self) -> bool:
@@ -270,6 +272,8 @@ def run_plan(
     jobs: Optional[int] = None,
     budget: Optional[float] = None,
     plan_path: Optional[Union[str, Path]] = None,
+    timeout: Optional[float] = None,
+    health: Optional[FarmHealth] = None,
 ) -> PlanRunReport:
     """Execute a plan's pending entries; persist everything that lands.
 
@@ -279,6 +283,13 @@ def run_plan(
     finish and their results are kept, queued-but-unstarted work is
     cancelled.  ``budget=0`` therefore plans everything and runs
     nothing, which is how the CLI prints a dry plan.
+
+    Execution goes through :func:`execute_resilient`: a pool-worker
+    death or a spec exceeding ``timeout`` seconds respawns the pool
+    with the surviving specs instead of aborting the shard, and a spec
+    that repeatedly takes the pool down is quarantined (it simply stays
+    pending; the report counts it and ``health`` -- or a stderr line --
+    names it).
 
     ``plan_path`` names the advisory cursor file, rewritten atomically
     after every completion.  Resume does not read it: re-planning
@@ -294,6 +305,7 @@ def run_plan(
     done: List[str] = []
     remaining: List[str] = [e.key for e in ordered]
     over_budget = False
+    own_health = health if health is not None else FarmHealth()
 
     def record(entry: PlanEntry, summary, wall: float) -> None:
         cache.put_by_key(entry.key, entry.spec, summary,
@@ -309,36 +321,33 @@ def run_plan(
         return PlanRunReport(0, 0, time.monotonic() - start, False)
 
     jobs = resolve_jobs(jobs)
-    if deadline is not None and time.monotonic() >= deadline:
-        over_budget = True
-    elif jobs == 1 or len(ordered) == 1:
-        for entry in ordered:
-            if deadline is not None and time.monotonic() >= deadline:
-                over_budget = True
-                break
-            summary, wall = execute_timed(entry.spec)
-            record(entry, summary, wall)
-    else:
-        workers = min(jobs, len(ordered))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(execute_timed, entry.spec): entry
-                for entry in ordered
-            }
-            for future in as_completed(futures):
-                if future.cancelled():
-                    continue
-                summary, wall = future.result()
-                record(futures[future], summary, wall)
-                if (deadline is not None and not over_budget
-                        and time.monotonic() >= deadline):
-                    over_budget = True
-                    for other in futures:
-                        other.cancel()
+
+    def hit_deadline() -> bool:
+        nonlocal over_budget
+        if deadline is not None and time.monotonic() >= deadline:
+            over_budget = True
+            return True
+        return False
+
+    if not hit_deadline():
+        by_index = dict(enumerate(ordered))
+        execute_resilient(
+            {index: entry.spec for index, entry in by_index.items()},
+            jobs,
+            timeout=timeout,
+            health=own_health,
+            on_result=lambda index, summary, wall: record(
+                by_index[index], summary, wall
+            ),
+            should_stop=hit_deadline,
+        )
+        if not own_health.clean:
+            print(f"[plan] {own_health.describe()}", file=sys.stderr)
 
     return PlanRunReport(
         executed=len(done),
         remaining=len(remaining),
         elapsed=time.monotonic() - start,
         over_budget=over_budget,
+        quarantined=len(own_health.quarantined),
     )

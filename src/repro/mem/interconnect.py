@@ -68,7 +68,7 @@ class FlushTree:
     cycle-for-cycle identical on small machines.
     """
 
-    __slots__ = ("core", "order", "delivery", "bcast")
+    __slots__ = ("core", "order", "delivery", "bcast", "parents")
 
     def __init__(self, mesh: "Mesh", core: int, degree: int) -> None:
         self.core = core
@@ -77,15 +77,22 @@ class FlushTree:
         self.order = tuple(order)
         n = len(order)
         delivery = [0] * n  # indexed by bank id
+        # parents[bank] = the bank relaying this bank's FlushEpoch copy
+        # (-1 for root children, whose edge comes straight from the
+        # core).  The fault injector keys per-edge faults by the child
+        # bank and charges a faulted edge to its whole subtree.
+        parents = [-1] * n  # indexed by bank id
         for pos, bank in enumerate(order):
             if pos < degree:
                 delivery[bank] = row[bank]
             else:
                 parent = order[pos // degree - 1]
+                parents[bank] = parent
                 delivery[bank] = delivery[parent] + mesh.latency(
                     mesh.tile_of_bank(parent), mesh.tile_of_bank(bank)
                 )
         self.delivery = tuple(delivery)
+        self.parents = tuple(parents)
         self.bcast = max(delivery) if delivery else 0
 
 

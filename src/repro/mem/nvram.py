@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.sim.config import MachineConfig
 from repro.sim.engine import Engine
+from repro.sim.faults import ProtocolError, backoff_cycles
 from repro.sim.stats import StatDomain
 
 
@@ -237,7 +238,13 @@ class _WriteRun:
                 self._kind, self._values[pos],
             )
             self._values[pos] = None
-            self._on_line(time)
+            if mc._faults is None:
+                self._on_line(time)
+            else:
+                mc._deliver_persist_ack(
+                    time, self._lines[pos], self._core_id,
+                    self._epoch_seq, self._on_line,
+                )
         pos += 1
         self._pos = pos
         if pos < len(self._dones):
@@ -292,7 +299,13 @@ class _WriteOne:
                 self._kind, self._value,
             )
             self._value = None
-            self._on_line(self._done)
+            if mc._faults is None:
+                self._on_line(self._done)
+            else:
+                mc._deliver_persist_ack(
+                    self._done, self._line, self._core_id,
+                    self._epoch_seq, self._on_line,
+                )
 
 
 class MemoryController:
@@ -321,6 +334,12 @@ class MemoryController:
         self._txn_ordinal = 0
         self._n_fault_stalls = 0
         self._fault_stall_cycles = 0
+        # Media-fault accounting (torn-line rewrites, transient write
+        # retries) and PersistAck-loss accounting, hot-counter idiom.
+        self._n_torn_writes = 0
+        self._n_write_retries = 0
+        self._media_retry_cycles = 0
+        self._n_persist_ack_drops = 0
         # Hot-path accounting: every controller transaction counts a
         # read/write and records its queue wait.  The fast path holds
         # these in plain attributes, merged into the stat domain by
@@ -334,11 +353,22 @@ class MemoryController:
         self._qw_count = 0
         self._qw_max = 0
 
-    def _fault_stall(self) -> int:
-        """Stall cycles for the next transaction (0 without faults)."""
+    def _fault_stall(self, write: bool = False) -> int:
+        """Stall cycles for the next transaction (0 without faults).
+
+        Write transactions additionally draw the media faults: torn
+        lines detected by verify-after-write are rewritten (each rewrite
+        costs ``torn_write_cycles``; the chain is bounded by
+        ``max_torn_write_retries`` with the watchdog raising
+        :class:`ProtocolError` past it), and a transient media retry
+        costs ``write_retry_cycles`` once.  The data always commits
+        intact -- only durability *timing* slips, the image never
+        records a torn value.
+        """
+        faults = self._faults
         ordinal = self._txn_ordinal
         self._txn_ordinal = ordinal + 1
-        stall = self._faults.mc_stall(self.mc_id, ordinal)
+        stall = faults.mc_stall(self.mc_id, ordinal)
         if stall:
             if self._fast:
                 self._n_fault_stalls += 1
@@ -346,13 +376,84 @@ class MemoryController:
             else:
                 self._stats.bump("fault_stalls")
                 self._stats.bump("fault_stall_cycles", stall)
+        if write and faults.media_active:
+            cfg = faults.config
+            extra = 0
+            tears = faults.torn_write_retries(self.mc_id, ordinal)
+            if tears:
+                if tears > cfg.max_torn_write_retries:
+                    raise ProtocolError(
+                        f"torn-write rewrite chain at mc {self.mc_id} "
+                        f"ordinal {ordinal} exceeded bound "
+                        f"{cfg.max_torn_write_retries} ({tears} rewrites)"
+                    )
+                extra += tears * cfg.torn_write_cycles
+                if self._fast:
+                    self._n_torn_writes += tears
+                else:
+                    self._stats.bump("fault_torn_writes", tears)
+            if faults.write_retry(self.mc_id, ordinal):
+                extra += cfg.write_retry_cycles
+                if self._fast:
+                    self._n_write_retries += 1
+                else:
+                    self._stats.bump("fault_write_retries")
+            if extra:
+                if self._fast:
+                    self._media_retry_cycles += extra
+                else:
+                    self._stats.bump("fault_media_cycles", extra)
+                stall += extra
         return stall
 
-    def _service_start(self, occupancy: int) -> int:
+    def _deliver_persist_ack(
+        self,
+        time: int,
+        line: int,
+        core_id: int,
+        epoch_seq: int,
+        on_line: Callable[[int], None],
+    ) -> None:
+        """Deliver a flush-handshake PersistAck, possibly late.
+
+        A lost ack is retransmitted by the controller after
+        ``persist_ack_timeout`` with exponential backoff (the line is
+        already durable; only its acknowledgement slips), bounded by
+        ``max_persist_ack_retries``.  Eviction-path persists
+        (``core_id < 0`` / ``epoch_seq < 0``) have no handshake ack to
+        lose and always deliver directly.
+        """
+        faults = self._faults
+        if (
+            core_id < 0
+            or epoch_seq < 0
+            or not faults.persist_ack_active
+        ):
+            on_line(time)
+            return
+        resends = faults.persist_ack_resends(core_id, epoch_seq, line)
+        if not resends:
+            on_line(time)
+            return
+        cfg = faults.config
+        if resends > cfg.max_persist_ack_retries:
+            raise ProtocolError(
+                f"PersistAck retry chain for line {line:#x} of core "
+                f"{core_id} epoch seq {epoch_seq} exceeded bound "
+                f"{cfg.max_persist_ack_retries} ({resends} resends)"
+            )
+        if self._fast:
+            self._n_persist_ack_drops += resends
+        else:
+            self._stats.bump("fault_persist_ack_drops", resends)
+        extra = backoff_cycles(cfg.persist_ack_timeout, resends)
+        self._engine.schedule_call(extra, on_line, time + extra)
+
+    def _service_start(self, occupancy: int, write: bool = False) -> int:
         now = self._engine.now
         start = max(now, self._busy_until)
         if self._faults is not None:
-            start += self._fault_stall()
+            start += self._fault_stall(write)
         self._busy_until = start + occupancy
         queue_wait = start - now
         if self._fast:
@@ -402,6 +503,19 @@ class MemoryController:
             stats.bump("fault_stall_cycles", self._fault_stall_cycles)
             self._n_fault_stalls = 0
             self._fault_stall_cycles = 0
+        if self._n_torn_writes:
+            stats.bump("fault_torn_writes", self._n_torn_writes)
+            self._n_torn_writes = 0
+        if self._n_write_retries:
+            stats.bump("fault_write_retries", self._n_write_retries)
+            self._n_write_retries = 0
+        if self._media_retry_cycles:
+            stats.bump("fault_media_cycles", self._media_retry_cycles)
+            self._media_retry_cycles = 0
+        if self._n_persist_ack_drops:
+            stats.bump("fault_persist_ack_drops",
+                       self._n_persist_ack_drops)
+            self._n_persist_ack_drops = 0
 
     # ------------------------------------------------------------------
     def read(self, line: int, callback: Callable[..., None],
@@ -435,7 +549,8 @@ class MemoryController:
         fires (the PersistAck).  ``values`` ownership transfers to the
         image at commit.
         """
-        start = self._service_start(self._config.mc_write_occupancy)
+        start = self._service_start(self._config.mc_write_occupancy,
+                                    write=True)
         done = start + self._config.nvram_write_latency
         self._account_write(kind)
         self._engine.schedule_call(
@@ -497,7 +612,7 @@ class MemoryController:
             for arrival in arrivals:
                 start = arrival if arrival > busy else busy
                 if faults is not None:
-                    start += self._fault_stall()
+                    start += self._fault_stall(True)
                 busy = start + occupancy
                 wait = start - arrival
                 qw_sum += wait
@@ -512,7 +627,7 @@ class MemoryController:
             for arrival in arrivals:
                 start = arrival if arrival > busy else busy
                 if faults is not None:
-                    start += self._fault_stall()
+                    start += self._fault_stall(True)
                 busy = start + occupancy
                 stats.record("queue_wait", start - arrival)
                 dones.append(start + latency)
@@ -541,7 +656,7 @@ class MemoryController:
         busy = self._busy_until
         start = arrival if arrival > busy else busy
         if self._faults is not None:
-            start += self._fault_stall()
+            start += self._fault_stall(True)
         self._busy_until = start + config.mc_write_occupancy
         wait = start - arrival
         if self._fast:
@@ -568,7 +683,8 @@ class MemoryController:
         cb_args: Tuple = (),
     ) -> None:
         """Schedule an undo-log entry write (section 5.2.1)."""
-        start = self._service_start(self._config.mc_write_occupancy)
+        start = self._service_start(self._config.mc_write_occupancy,
+                                    write=True)
         done = start + self._config.nvram_write_latency
         self._account_write("log")
         self._engine.schedule_call(

@@ -10,11 +10,30 @@
 * :mod:`repro.recovery.crashsweep` -- validate *every* truncation point
   of one captured run in a single incremental pass, with a brute-force
   truncate-and-recheck oracle for parity.
+* :mod:`repro.recovery.campaign`  -- systematic fault campaigns: probe
+  every injectable protocol coordinate of a captured run (plus seeded
+  randomized multi-fault rounds) and triage each probe into
+  survived / aborted-clean / violation with a minimized repro.
 * :mod:`repro.recovery.rebuild` -- actually perform recovery: roll torn
   BSP epochs back via the undo log and reconstruct data structures from
   the durable image.
 """
 
+from repro.recovery.campaign import (
+    ABORTED_CLEAN,
+    SURVIVED,
+    VIOLATION,
+    CampaignEntry,
+    CampaignReport,
+    CampaignSpec,
+    FaultPoint,
+    campaign_selftest,
+    enumerate_points,
+    minimize_inject,
+    repro_command,
+    run_campaign,
+    triage,
+)
 from repro.recovery.checker import (
     ConsistencyViolation,
     check_bsp_recoverable,
@@ -41,10 +60,23 @@ from repro.recovery.rebuild import (
 )
 
 __all__ = [
+    "ABORTED_CLEAN",
+    "SURVIVED",
+    "VIOLATION",
+    "CampaignEntry",
+    "CampaignReport",
+    "CampaignSpec",
     "ConsistencyViolation",
     "CrashOutcome",
+    "FaultPoint",
     "SweepReport",
+    "campaign_selftest",
     "capture_run",
+    "enumerate_points",
+    "minimize_inject",
+    "repro_command",
+    "run_campaign",
+    "triage",
     "check_bsp_recoverable",
     "check_epoch_order",
     "check_queue_recoverable",
